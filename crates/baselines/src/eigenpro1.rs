@@ -1,0 +1,330 @@
+//! Original EigenPro (Ma & Belkin 2017): spectral preconditioning with
+//! eigenvectors represented over **all `n` training centers**.
+//!
+//! The algorithm is the same double-block update as EigenPro 2.0, but the
+//! preconditioner's eigenvectors are length-`n` coefficient vectors, so
+//! each correction touches all `n` rows of `α` and the eigensystem costs
+//! `n·q` memory — the bolded overhead row of Table 1. Section 4 of the
+//! EigenPro-2.0 paper exists precisely to remove this `n`-dependence.
+//!
+//! Eigenvectors of the full `K_n` are computed by randomized subspace
+//! iteration (matrix-free would also work; at reproduction scale we
+//! materialise `K_n`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ep2_core::{critical, CoreError, KernelModel};
+use ep2_data::{metrics, Dataset};
+use ep2_device::{DeviceMode, ResourceSpec, SimClock};
+use ep2_kernels::{matrix as kmat, KernelKind};
+use ep2_linalg::{blas, subspace, Matrix, SymOp};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::sgd::{BaselineOutcome, BaselineReport};
+
+/// Configuration for the original-EigenPro baseline.
+#[derive(Debug, Clone)]
+pub struct EigenPro1Config {
+    /// Kernel family.
+    pub kernel: KernelKind,
+    /// Kernel bandwidth σ.
+    pub bandwidth: f64,
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Spectral truncation `q`.
+    pub q: usize,
+    /// Damping exponent (reference implementation uses 0.95).
+    pub damping: f64,
+    /// Step size; `None` = analytic from the damped tail eigenvalue.
+    pub step_size: Option<f64>,
+    /// Stop when training MSE reaches this value.
+    pub target_train_mse: Option<f64>,
+    /// Device-timing idealisation.
+    pub device_mode: DeviceMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EigenPro1Config {
+    fn default() -> Self {
+        EigenPro1Config {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 5.0,
+            epochs: 10,
+            batch_size: 64,
+            q: 20,
+            damping: 0.95,
+            step_size: None,
+            target_train_mse: None,
+            device_mode: DeviceMode::ActualGpu,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains the original EigenPro baseline.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] for invalid configurations and propagates
+/// eigensolver failures.
+pub fn train(
+    config: &EigenPro1Config,
+    device: &ResourceSpec,
+    train: &Dataset,
+    val: Option<&Dataset>,
+) -> Result<BaselineOutcome, CoreError> {
+    if train.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            message: "training set is empty".to_string(),
+        });
+    }
+    let n = train.len();
+    let d = train.dim();
+    let l = train.n_classes;
+    if config.batch_size == 0 || config.epochs == 0 || config.q == 0 || config.q + 1 >= n {
+        return Err(CoreError::InvalidConfig {
+            message: format!(
+                "need batch_size, epochs, q > 0 and q + 1 < n (got q = {}, n = {n})",
+                config.q
+            ),
+        });
+    }
+    let m = config.batch_size.min(n);
+    let kernel: Arc<dyn ep2_kernels::Kernel> =
+        config.kernel.with_bandwidth(config.bandwidth).into();
+
+    // Top-(q+1) eigensystem of the full kernel matrix. The dense solver is
+    // exact (no Nyström/iteration leakage, so the analytic step size is
+    // safe); fall back to subspace iteration only beyond dense reach.
+    let km = kmat::kernel_matrix(kernel.as_ref(), &train.features);
+    let (sigmas, u) = if n <= 2048 {
+        let dec = ep2_linalg::eigen::sym_eig(&km).map_err(CoreError::from)?;
+        dec.top_q(config.q + 1)
+    } else {
+        let cfg = subspace::SubspaceConfig {
+            seed: config.seed,
+            power_iters: 10,
+            ..subspace::SubspaceConfig::default()
+        };
+        subspace::top_q_eig(&km as &dyn SymOp, config.q + 1, &cfg).map_err(CoreError::from)?
+    };
+    let tail = sigmas[config.q];
+    if tail <= 0.0 {
+        return Err(CoreError::InvalidConfig {
+            message: format!("eigenvalue {} of K_n is not positive", config.q + 1),
+        });
+    }
+    // D_jj = 1 − (τ/σ_j)^α over the *full-matrix* eigenvalues. Unlike the
+    // Nyström form (which carries an extra 1/σ to cancel the feature-map
+    // scale), the correction here dots the residual with the eigenvector
+    // coordinates directly, so no 1/σ factor appears:
+    // correction = η (2/m) Σ_j (1 − (τ/σ_j)^α)(u_j[batch]ᵀ g) u_j.
+    let d_diag: Vec<f64> = sigmas[..config.q]
+        .iter()
+        .map(|&s| 1.0 - (tail / s).powf(config.damping))
+        .collect();
+    let u_q = u.submatrix(0, 0, n, config.q);
+
+    // Analytic step size from the damped tail (normalised by n here — the
+    // eigensystem is of K_n itself).
+    let lambda_top_damped =
+        (sigmas[0].powf(1.0 - config.damping) * tail.powf(config.damping)).max(tail) / n as f64;
+    // β(K_G) on the training points.
+    let beta_g = (0..n)
+        .map(|i| {
+            let mut drop = 0.0;
+            for j in 0..config.q {
+                let e = u_q[(i, j)];
+                // Eigenvalue drop σ_j → σ_j (τ/σ_j)^α, i.e. σ_j · D_jj.
+                drop += sigmas[j] * d_diag[j] * e * e;
+            }
+            kernel.as_ref().of_sq_dist(0.0) - drop
+        })
+        .fold(f64::NEG_INFINITY, f64::max);
+    let eta = config
+        .step_size
+        .unwrap_or_else(|| critical::optimal_step_size(m, beta_g.max(1e-6), lambda_top_damped));
+
+    let mut model = KernelModel::zeros(kernel, train.features.clone(), l);
+    let mut clock = SimClock::new(device.clone(), config.device_mode);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(23));
+    let start = Instant::now();
+
+    let mut epochs = Vec::new();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut iterations = 0_u64;
+    let mut reached_target = false;
+    for epoch in 1..=config.epochs {
+        indices.shuffle(&mut rng);
+        for chunk in indices.chunks(m) {
+            let mb = chunk.len();
+            // Steps 2–3: standard SGD part.
+            let batch_x = train.features.select_rows(chunk);
+            let k_block = kmat::kernel_cross(model.kernel().as_ref(), &batch_x, model.centers());
+            let f = model.predict_from_kernel_block(&k_block);
+            let mut g = f;
+            for (bi, &idx) in chunk.iter().enumerate() {
+                for (c, v) in g.row_mut(bi).iter_mut().enumerate() {
+                    *v -= train.targets[(idx, c)];
+                }
+            }
+            let scale = eta * 2.0 / mb as f64;
+            for (bi, &idx) in chunk.iter().enumerate() {
+                let g_row = g.row(bi);
+                let w_row = model.weights_mut().row_mut(idx);
+                for (w, &gv) in w_row.iter_mut().zip(g_row) {
+                    *w -= scale * gv;
+                }
+            }
+            // Correction over ALL n coordinates: α += scale · U D U[batch]ᵀ g.
+            let u_batch = u_q.select_rows(chunk); // mb x q
+            let mut t = Matrix::zeros(config.q, l);
+            blas::gemm_tn(1.0, &u_batch, &g, 0.0, &mut t);
+            for (j, &dj) in d_diag.iter().enumerate() {
+                for v in t.row_mut(j) {
+                    *v *= dj;
+                }
+            }
+            let correction = blas::matmul(&u_q, &t); // n x l
+            for i in 0..n {
+                let c_row = correction.row(i);
+                let w_row = model.weights_mut().row_mut(i);
+                for (w, &cv) in w_row.iter_mut().zip(c_row) {
+                    *w += scale * cv;
+                }
+            }
+            iterations += 1;
+            // Table-1 accounting: SGD part + n-scaled correction.
+            let sgd_ops = (n * mb * (d + l)) as f64;
+            let corr_ops = (mb * config.q * l + n * config.q * l) as f64;
+            clock.record_launch(sgd_ops + corr_ops);
+        }
+        let pred = model.predict(&train.features);
+        let train_mse = metrics::mse(&pred, &train.targets);
+        let val_error = val.map(|v| {
+            let p = model.predict(&v.features);
+            metrics::classification_error(&p, &v.labels)
+        });
+        epochs.push((epoch, train_mse, val_error));
+        if config.target_train_mse.map(|t| train_mse <= t).unwrap_or(false) {
+            reached_target = true;
+            break;
+        }
+    }
+    let &(_, final_train_mse, final_val_error) = epochs.last().expect("ran at least one epoch");
+    Ok(BaselineOutcome {
+        model,
+        report: BaselineReport {
+            method: "EigenPro 1".to_string(),
+            simulated_seconds: clock.elapsed(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            iterations,
+            final_train_mse,
+            final_val_error,
+            reached_target,
+            epochs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ep2_data::catalog;
+
+    #[test]
+    fn eigenpro1_learns_and_beats_sgd_per_epoch() {
+        let data = catalog::mnist_like(300, 2);
+        let (tr, te) = data.split_at(240);
+        let device = ResourceSpec::scaled_virtual_gpu();
+        let m = 120; // well above m*(k)
+
+        let ep1 = train(
+            &EigenPro1Config {
+                bandwidth: 4.0,
+                epochs: 4,
+                batch_size: m,
+                q: 24,
+                seed: 3,
+                ..EigenPro1Config::default()
+            },
+            &device,
+            &tr,
+            Some(&te),
+        )
+        .unwrap();
+
+        let sgd = crate::sgd::train(
+            &crate::sgd::SgdConfig {
+                bandwidth: 4.0,
+                epochs: 4,
+                batch_size: m,
+                seed: 3,
+                ..crate::sgd::SgdConfig::default()
+            },
+            &device,
+            &tr,
+            Some(&te),
+        )
+        .unwrap();
+
+        assert!(
+            ep1.report.final_train_mse < sgd.report.final_train_mse * 0.5,
+            "eigenpro1 {} vs sgd {}",
+            ep1.report.final_train_mse,
+            sgd.report.final_train_mse
+        );
+        assert!(ep1.report.final_val_error.unwrap() < 0.2);
+    }
+
+    #[test]
+    fn overhead_scales_with_n_in_sim_time() {
+        // Same shape except n: per-iteration ops of EigenPro 1 grow with n
+        // beyond the SGD part (Table 1).
+        let device = ResourceSpec::scaled_virtual_gpu();
+        let run = |n: usize| {
+            let data = catalog::susy_like(n, 5);
+            let (tr, _) = data.split_at(n);
+            let out = train(
+                &EigenPro1Config {
+                    bandwidth: 3.0,
+                    epochs: 1,
+                    batch_size: 50,
+                    q: 10,
+                    seed: 1,
+                    ..EigenPro1Config::default()
+                },
+                &device,
+                &tr,
+                None,
+            )
+            .unwrap();
+            let clock_ops = out.report.iterations as f64;
+            let _ = clock_ops;
+            out
+        };
+        let small = run(100);
+        let big = run(400);
+        // ops per iteration ratio ≈ n ratio (d, l, m, q fixed).
+        let small_ops = small.report.simulated_seconds;
+        let big_ops = big.report.simulated_seconds;
+        assert!(big_ops > small_ops, "{big_ops} vs {small_ops}");
+    }
+
+    #[test]
+    fn rejects_bad_q() {
+        let data = catalog::susy_like(30, 1);
+        let (tr, _) = data.split_at(30);
+        let bad = EigenPro1Config {
+            q: 29,
+            ..EigenPro1Config::default()
+        };
+        assert!(train(&bad, &ResourceSpec::scaled_virtual_gpu(), &tr, None).is_err());
+    }
+}

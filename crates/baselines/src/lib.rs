@@ -1,0 +1,31 @@
+//! # ep2-baselines — every comparator the paper evaluates against
+//!
+//! Tables 2–3 and Figure 2 compare EigenPro 2.0 to:
+//!
+//! - **plain mini-batch kernel SGD** ([`sgd`]): randomized coordinate
+//!   descent for `Kα = y` — the method whose linear scaling saturates at
+//!   the small `m*(k)`;
+//! - **original EigenPro** (Ma & Belkin 2017, [`eigenpro1`]): the same
+//!   spectral preconditioning but with eigenvectors represented over all
+//!   `n` centers, so per-iteration overhead scales with `n` (Table 1's
+//!   bolded terms);
+//! - **FALKON** (Rudi, Carratino & Rosasco 2017, [`falkon`]): Nyström
+//!   centers + Cholesky-preconditioned conjugate gradient;
+//! - **SMO kernel SVM** ([`svm`]): LibSVM's sequential minimal
+//!   optimisation, in a serial variant (LibSVM stand-in) and a
+//!   parallel-kernel variant (ThunderSVM stand-in) for Table 3;
+//! - **the direct solver** ([`direct`]): exact (jittered-Cholesky) kernel
+//!   interpolation, the ground truth everything converges to.
+//!
+//! All baselines emit [`ep2_core::KernelModel`] predictors and report both
+//! simulated-device and wall-clock time, so harness comparisons are
+//! apples-to-apples.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod direct;
+pub mod eigenpro1;
+pub mod falkon;
+pub mod sgd;
+pub mod svm;

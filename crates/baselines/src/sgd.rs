@@ -1,0 +1,259 @@
+//! Plain mini-batch kernel SGD (randomized coordinate descent for
+//! `Kα = y`) — the baseline whose linear scaling saturates at `m*(k)`.
+//!
+//! Runs on the same [`ep2_core::iteration::EigenProIteration`] machinery
+//! with the preconditioner disabled, so Figure-2/3 comparisons measure the
+//! preconditioner's effect and nothing else.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ep2_core::iteration::EigenProIteration;
+use ep2_core::precond::SubsampleEigens;
+use ep2_core::{critical, CoreError, KernelModel};
+use ep2_data::{metrics, Dataset};
+use ep2_device::{DeviceMode, ResourceSpec, SimClock};
+use ep2_kernels::KernelKind;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration for the SGD baseline.
+#[derive(Debug, Clone)]
+pub struct SgdConfig {
+    /// Kernel family.
+    pub kernel: KernelKind,
+    /// Kernel bandwidth σ.
+    pub bandwidth: f64,
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size (required — sweeps drive this).
+    pub batch_size: usize,
+    /// Step size; `None` = analytic `η = m/(β + (m−1)λ₁)` with `λ₁`
+    /// estimated by Nyström on a subsample.
+    pub step_size: Option<f64>,
+    /// Stop when training MSE reaches this value.
+    pub target_train_mse: Option<f64>,
+    /// Device-timing idealisation for the simulated clock.
+    pub device_mode: DeviceMode,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 5.0,
+            epochs: 10,
+            batch_size: 64,
+            step_size: None,
+            target_train_mse: None,
+            device_mode: DeviceMode::ActualGpu,
+            seed: 0,
+        }
+    }
+}
+
+/// Common per-run report shared by the iterative baselines.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Method name for tables.
+    pub method: String,
+    /// `(epoch, train_mse, val_error)` per epoch.
+    pub epochs: Vec<(usize, f64, Option<f64>)>,
+    /// Total simulated device seconds.
+    pub simulated_seconds: f64,
+    /// Total wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Final training MSE.
+    pub final_train_mse: f64,
+    /// Final validation classification error.
+    pub final_val_error: Option<f64>,
+    /// Whether the target training MSE was reached.
+    pub reached_target: bool,
+}
+
+/// Outcome of a baseline run: trained model + report.
+#[derive(Debug)]
+pub struct BaselineOutcome {
+    /// The trained kernel machine.
+    pub model: KernelModel,
+    /// Metrics and timings.
+    pub report: BaselineReport,
+}
+
+/// Estimates `λ₁(K/n)` by Nyström on a subsample of `s` points — the
+/// step-size ingredient for plain SGD.
+///
+/// # Errors
+///
+/// Propagates eigensolver failures.
+pub fn estimate_lambda1(
+    kernel: &Arc<dyn ep2_kernels::Kernel>,
+    x: &ep2_linalg::Matrix,
+    s: usize,
+    seed: u64,
+) -> Result<f64, CoreError> {
+    let s = s.clamp(1, x.rows());
+    let eig = SubsampleEigens::compute(kernel, x, s, 1, seed)?;
+    Ok(eig.lambda(0))
+}
+
+/// Trains plain mini-batch kernel SGD.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] for empty data or invalid configuration.
+pub fn train(
+    config: &SgdConfig,
+    device: &ResourceSpec,
+    train: &Dataset,
+    val: Option<&Dataset>,
+) -> Result<BaselineOutcome, CoreError> {
+    if train.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            message: "training set is empty".to_string(),
+        });
+    }
+    if config.batch_size == 0 || config.epochs == 0 {
+        return Err(CoreError::InvalidConfig {
+            message: "batch_size and epochs must be positive".to_string(),
+        });
+    }
+    let n = train.len();
+    let m = config.batch_size.min(n);
+    let kernel: Arc<dyn ep2_kernels::Kernel> =
+        config.kernel.with_bandwidth(config.bandwidth).into();
+    let eta = match config.step_size {
+        Some(e) => e,
+        None => {
+            let s = 1_000.min(n);
+            let lambda1 = estimate_lambda1(&kernel, &train.features, s, config.seed)?;
+            critical::optimal_step_size(m, 1.0, lambda1)
+        }
+    };
+
+    let model = KernelModel::zeros(kernel, train.features.clone(), train.n_classes);
+    let mut iter = EigenProIteration::new(model, None, eta);
+    let mut clock = SimClock::new(device.clone(), config.device_mode);
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(17));
+    let start = Instant::now();
+
+    let mut epochs = Vec::new();
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut reached_target = false;
+    for epoch in 1..=config.epochs {
+        indices.shuffle(&mut rng);
+        for chunk in indices.chunks(m) {
+            let ops = iter.step(chunk, &train.targets);
+            clock.record_launch(ops);
+        }
+        let pred = iter.model().predict(&train.features);
+        let train_mse = metrics::mse(&pred, &train.targets);
+        let val_error = val.map(|v| {
+            let p = iter.model().predict(&v.features);
+            metrics::classification_error(&p, &v.labels)
+        });
+        epochs.push((epoch, train_mse, val_error));
+        if config.target_train_mse.map(|t| train_mse <= t).unwrap_or(false) {
+            reached_target = true;
+            break;
+        }
+    }
+    let &(_, final_train_mse, final_val_error) = epochs.last().expect("ran at least one epoch");
+    let report = BaselineReport {
+        method: "SGD".to_string(),
+        simulated_seconds: clock.elapsed(),
+        wall_seconds: start.elapsed().as_secs_f64(),
+        iterations: iter.counter().iterations,
+        final_train_mse,
+        final_val_error,
+        reached_target,
+        epochs,
+    };
+    Ok(BaselineOutcome {
+        model: iter.into_model(),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ep2_data::catalog;
+
+    #[test]
+    fn sgd_learns_mnist_like() {
+        let data = catalog::mnist_like(400, 1);
+        let (tr, te) = data.split_at(320);
+        let config = SgdConfig {
+            bandwidth: 4.0,
+            epochs: 8,
+            batch_size: 16,
+            ..SgdConfig::default()
+        };
+        let out = train(&config, &ResourceSpec::scaled_virtual_gpu(), &tr, Some(&te)).unwrap();
+        assert!(out.report.final_val_error.unwrap() < 0.15);
+        assert!(out.report.iterations > 0);
+        assert!(out.report.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn large_batch_no_faster_per_epoch_than_critical_batch() {
+        // The heart of the paper: raising m beyond m*(k) does not improve
+        // per-epoch convergence for plain SGD.
+        let data = catalog::mnist_like(300, 4);
+        let (tr, _) = data.split_at(300);
+        let run = |m: usize| {
+            let config = SgdConfig {
+                bandwidth: 4.0,
+                epochs: 3,
+                batch_size: m,
+                seed: 5,
+                ..SgdConfig::default()
+            };
+            train(&config, &ResourceSpec::scaled_virtual_gpu(), &tr, None)
+                .unwrap()
+                .report
+                .final_train_mse
+        };
+        let mse_small = run(8);
+        let mse_large = run(256);
+        // Large batch converges no better per epoch (allow 20% tolerance for
+        // shuffling noise).
+        assert!(
+            mse_large > mse_small * 0.8,
+            "large batch should not beat small per epoch: {mse_large} vs {mse_small}"
+        );
+    }
+
+    #[test]
+    fn target_stops_early() {
+        let data = catalog::mnist_like(200, 9);
+        let (tr, _) = data.split_at(200);
+        let config = SgdConfig {
+            bandwidth: 4.0,
+            epochs: 100,
+            batch_size: 8,
+            target_train_mse: Some(0.05),
+            ..SgdConfig::default()
+        };
+        let out = train(&config, &ResourceSpec::scaled_virtual_gpu(), &tr, None).unwrap();
+        assert!(out.report.reached_target);
+        assert!(out.report.epochs.len() < 100);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let data = catalog::mnist_like(50, 1);
+        let (tr, _) = data.split_at(50);
+        let config = SgdConfig {
+            batch_size: 0,
+            ..SgdConfig::default()
+        };
+        assert!(train(&config, &ResourceSpec::scaled_virtual_gpu(), &tr, None).is_err());
+    }
+}

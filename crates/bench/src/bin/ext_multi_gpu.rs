@@ -1,0 +1,146 @@
+//! Extension (paper Section 6): multi-GPU scaling.
+//!
+//! "Going beyond [10⁷] to 10⁸ or more data points using multi-GPU setups is
+//! the next natural step for kernel methods." This harness exercises the
+//! data-parallel decomposition in `ep2_core::distributed` and the cluster
+//! timing model in `ep2_device::cluster`:
+//!
+//! 1. the aggregate saturating batch `m^max` grows with the device count
+//!    `g` (Step 1 against `g·C_G`), so the adaptive kernel keeps extending
+//!    linear scaling across devices;
+//! 2. simulated epoch time drops with `g` until communication and the
+//!    per-launch floor erode efficiency — the curve that sizes a cluster;
+//! 3. sharded training is *numerically identical* to single-device
+//!    training (checked here on a live run, not just in unit tests).
+
+use ep2_bench::{fmt_pct, fmt_secs, print_table};
+use ep2_core::distributed::DistributedEigenProIteration;
+use ep2_core::iteration::EigenProIteration;
+use ep2_core::{KernelModel, Preconditioner};
+use ep2_data::catalog;
+use ep2_device::{ClusterSpec, DeviceMode};
+use ep2_kernels::{Kernel, KernelKind};
+use std::sync::Arc;
+
+fn main() {
+    // --- 1. Step-1 arithmetic at paper scale across cluster sizes. ---
+    let (n, d, l) = (10_000_000usize, 784usize, 10usize);
+    let mut rows = Vec::new();
+    for g in [1usize, 2, 4, 8, 16] {
+        let cluster = ClusterSpec::titan_xp_bank(g);
+        // A 1e7-point MNIST-shaped problem does not fit on < 4 devices —
+        // exactly the Section-6 motivation for multi-GPU kernel machines.
+        let n_local = n.div_ceil(g);
+        if ep2_device::batch::batch_for_memory(&cluster.device, n_local, d, l) == 0 {
+            rows.push(vec![
+                g.to_string(),
+                "— does not fit in device memory —".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            continue;
+        }
+        let plan = cluster.max_batch(n, d, l);
+        let t_iter = cluster.iteration_time(DeviceMode::ActualGpu, n, plan.batch, d, l);
+        let iters_per_epoch = n.div_ceil(plan.batch);
+        rows.push(vec![
+            g.to_string(),
+            plan.batch.to_string(),
+            fmt_secs(t_iter),
+            fmt_secs(t_iter * iters_per_epoch as f64),
+            fmt_pct(cluster.scaling_efficiency(n, plan.batch, d, l)),
+        ]);
+    }
+    print_table(
+        &format!("multi-GPU Step 1 at n = {n} (MNIST-shaped, Titan Xp bank, NVLink-class)"),
+        &["devices g", "m^max(g)", "time/iter", "time/epoch", "efficiency"],
+        &rows,
+    );
+    println!(
+        "Shape: the problem only fits at g ≥ 4 (Section 6's motivation); from there \
+         m^max grows with g (the adaptive kernel re-targets the aggregate capacity), \
+         epoch time falls accordingly, and efficiency erodes gracefully with \
+         communication.\n"
+    );
+
+    // --- 2. Live sharded training equals single-device training. ---
+    let data = catalog::mnist_like(800, 29);
+    let (train, test) = data.split_at(640);
+    let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(5.0).into();
+    let p = Preconditioner::fit_damped(&kernel, &train.features, 250, 25, 0.95, 3).unwrap();
+    let beta_g = p.beta_estimate(&kernel, &train.features, 640, 3);
+    let lambda = p
+        .lambda1_preconditioned()
+        .max(p.probe_lambda_max(&kernel, &train.features, 640, 24, 3));
+    let m = 160;
+    let eta = ep2_core::critical::optimal_step_size(m, beta_g, lambda);
+
+    let idx: Vec<usize> = (0..train.len()).collect();
+    let run_epochs = 4;
+
+    let mut single = EigenProIteration::new(
+        KernelModel::zeros(kernel.clone(), train.features.clone(), train.n_classes),
+        Some(p.clone()),
+        eta,
+    );
+    for _ in 0..run_epochs {
+        for chunk in idx.chunks(m) {
+            single.step(chunk, &train.targets);
+        }
+    }
+    let single_pred = single.model().predict(&test.features);
+    let single_err = ep2_data::metrics::classification_error(&single_pred, &test.labels);
+
+    let mut rows = Vec::new();
+    for g in [1usize, 2, 4, 8] {
+        let cluster = ClusterSpec::titan_xp_bank(g);
+        let mut dist = DistributedEigenProIteration::new(
+            KernelModel::zeros(kernel.clone(), train.features.clone(), train.n_classes),
+            Some(p.clone()),
+            cluster,
+            // Sequential mode exposes the per-device compute scaling at toy
+            // n (in ActualGpu mode every g sits below the per-launch floor).
+            DeviceMode::Sequential,
+            eta,
+        );
+        for _ in 0..run_epochs {
+            for chunk in idx.chunks(m) {
+                dist.step(chunk, &train.targets);
+            }
+        }
+        let pred = dist.model().predict(&test.features);
+        let err = ep2_data::metrics::classification_error(&pred, &test.labels);
+        let max_w_diff = single
+            .model()
+            .weights()
+            .as_slice()
+            .iter()
+            .zip(dist.model().weights().as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        rows.push(vec![
+            g.to_string(),
+            fmt_pct(err),
+            format!("{max_w_diff:.2e}"),
+            fmt_secs(dist.simulated_seconds()),
+        ]);
+    }
+    print_table(
+        &format!(
+            "live sharded training (MNIST-like n = {}, {} epochs; single-device test error {})",
+            train.len(),
+            run_epochs,
+            fmt_pct(single_err)
+        ),
+        &["devices g", "test error", "max weight diff vs single", "sim cluster time"],
+        &rows,
+    );
+    println!(
+        "The decomposition changes the clock, not the mathematics: weights match the \
+         single-device run to floating-point reordering for every g. (At this toy n \
+         the cluster clock is communication-dominated and grows with g — multi-GPU \
+         pays off at the paper-scale problems of the first table, where per-device \
+         compute dwarfs the all-reduce.)"
+    );
+}

@@ -1,0 +1,115 @@
+//! Table 1: per-iteration computation and memory of improved EigenPro vs
+//! original EigenPro vs standard SGD (overhead terms bolded in the paper).
+//!
+//! Two sections:
+//! 1. the analytic formulas evaluated at the paper's "realistic example"
+//!    (n = 1e6, s = 1e4, d ~ m ~ 1e3, q ~ l ~ 1e2), showing the < 1%
+//!    overhead claim;
+//! 2. *measured* operation counts from our implementations at reproduction
+//!    scale, cross-checked against the formulas.
+
+use ep2_bench::{fmt_ops, fmt_pct, print_table};
+use ep2_core::iteration::EigenProIteration;
+use ep2_core::{KernelModel, Preconditioner};
+use ep2_data::catalog;
+use ep2_device::cost::{self, ProblemShape};
+use ep2_kernels::{Kernel, KernelKind};
+use std::sync::Arc;
+
+fn analytic_section() {
+    let shape = ProblemShape {
+        n: 1_000_000,
+        m: 1_000,
+        d: 1_000,
+        l: 100,
+        s: 10_000,
+        q: 100,
+    };
+    let sgd = cost::sgd(&shape);
+    let imp = cost::improved_eigenpro(&shape);
+    let orig = cost::original_eigenpro(&shape);
+    let rows = vec![
+        vec![
+            "Improved EigenPro".to_string(),
+            fmt_ops(imp.compute_ops),
+            fmt_ops(imp.memory_slots),
+            fmt_pct(imp.overhead_over(&sgd).0),
+            fmt_pct(imp.overhead_over(&sgd).1),
+        ],
+        vec![
+            "Original EigenPro".to_string(),
+            fmt_ops(orig.compute_ops),
+            fmt_ops(orig.memory_slots),
+            fmt_pct(orig.overhead_over(&sgd).0),
+            fmt_pct(orig.overhead_over(&sgd).1),
+        ],
+        vec![
+            "SGD".to_string(),
+            fmt_ops(sgd.compute_ops),
+            fmt_ops(sgd.memory_slots),
+            "-".to_string(),
+            "-".to_string(),
+        ],
+    ];
+    print_table(
+        "Table 1 (analytic, paper scale: n=1e6 s=1e4 d=1e3 m=1e3 q=1e2 l=1e2)",
+        &["method", "compute/iter", "memory (slots)", "compute overhead", "memory overhead"],
+        &rows,
+    );
+    println!(
+        "paper claim check: improved-EigenPro overhead < 1% in both columns ({} / {})\n",
+        fmt_pct(cost::improved_eigenpro(&shape).overhead_over(&sgd).0),
+        fmt_pct(cost::improved_eigenpro(&shape).overhead_over(&sgd).1),
+    );
+}
+
+fn measured_section() {
+    let n = 1_200;
+    let s = 300;
+    let q = 24;
+    let m = 100;
+    let data = catalog::mnist_like(n, 3);
+    let d = data.dim();
+    let l = data.n_classes;
+    let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(5.0).into();
+
+    // Improved EigenPro.
+    let precond = Preconditioner::fit_damped(&kernel, &data.features, s, q, 0.95, 1).unwrap();
+    let model = KernelModel::zeros(kernel.clone(), data.features.clone(), l);
+    let mut it = EigenProIteration::new(model, Some(precond), 1.0);
+    let batch: Vec<usize> = (0..m).collect();
+    it.step(&batch, &data.targets);
+    let measured_sgd = it.counter().sgd_ops;
+    let measured_pre = it.counter().precond_ops;
+
+    let shape = ProblemShape { n, m, d, l, s, q };
+    let formula = cost::improved_eigenpro(&shape);
+    let formula_sgd = cost::sgd(&shape);
+
+    let rows = vec![
+        vec![
+            "SGD part (steps 2-3)".to_string(),
+            fmt_ops(measured_sgd),
+            fmt_ops(formula_sgd.compute_ops),
+        ],
+        vec![
+            "precond part (steps 4-5)".to_string(),
+            fmt_ops(measured_pre),
+            fmt_ops(formula.compute_ops - formula_sgd.compute_ops),
+        ],
+    ];
+    print_table(
+        &format!("Table 1 (measured, n={n} s={s} d={d} m={m} q={q} l={l})"),
+        &["component", "measured ops/iter", "formula ops/iter"],
+        &rows,
+    );
+    println!(
+        "measured overhead fraction: {} (drops to <1% at paper scale where n/s = 100)",
+        fmt_pct(it.counter().overhead_fraction())
+    );
+}
+
+fn main() {
+    analytic_section();
+    measured_section();
+}

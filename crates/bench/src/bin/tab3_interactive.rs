@@ -1,0 +1,135 @@
+//! Table 3: "interactive" training — EigenPro 2.0 vs ThunderSVM (GPU) vs
+//! LibSVM (CPU) on TIMIT / SVHN / MNIST / CIFAR-10 subsets.
+//!
+//! Paper protocol: train the SVM to convergence, then stop EigenPro 2.0 at
+//! the first epoch where its test accuracy reaches the SVM's. Each method
+//! runs on its own device model, as in the paper's hardware assignment:
+//!
+//! - LibSVM: one CPU thread (sequential device, ~4 Gop/s);
+//! - ThunderSVM: a parallel device at ~8x the serial throughput (the
+//!   measured class of ThunderSVM's advantage over LibSVM);
+//! - EigenPro 2.0: the scaled virtual GPU (big-batch GEMM utilisation).
+//!
+//! Simulated seconds are the primary column (the paper's comparison is
+//! GPU-vs-CPU wall time, which a CPU-only reproduction cannot measure
+//! directly); host wall time is shown for reference.
+
+use ep2_bench::{fmt_pct, fmt_secs, print_table, virtual_gpu_saturating_at};
+use ep2_baselines::svm;
+use ep2_core::trainer::{EigenPro2, TrainConfig};
+use ep2_data::{catalog, metrics, Dataset};
+use ep2_device::{DeviceMode, ResourceSpec};
+use ep2_kernels::KernelKind;
+
+struct Spec {
+    name: &'static str,
+    data: Dataset,
+    train_n: usize,
+    bandwidth: f64,
+    svm_c: f64,
+}
+
+fn main() {
+    let cpu_one_thread = ResourceSpec::new("CPU, 1 thread", 1.0e6, 1.6e10, 4.0e9, 1.0e-7);
+    let parallel_device = ResourceSpec::new("parallel device (8x)", 8.0e6, 1.6e10, 3.2e10, 1.0e-7);
+
+    let specs = vec![
+        Spec { name: "TIMIT", data: catalog::timit_like_small_labels(1_500, 24, 31), train_n: 1_200, bandwidth: 12.0, svm_c: 10.0 },
+        Spec { name: "SVHN", data: catalog::svhn_like(1_500, 32), train_n: 1_200, bandwidth: 6.0, svm_c: 10.0 },
+        Spec { name: "MNIST", data: catalog::mnist_like(1_500, 33), train_n: 1_200, bandwidth: 5.0, svm_c: 10.0 },
+        Spec { name: "CIFAR-10", data: catalog::cifar10_like(1_500, 34), train_n: 1_200, bandwidth: 8.0, svm_c: 10.0 },
+    ];
+
+    let mut sim_rows = Vec::new();
+    let mut wall_rows = Vec::new();
+    for spec in &specs {
+        let (train, test) = spec.data.split_at(spec.train_n);
+        let d_plus_l = train.dim() + train.n_classes;
+        let gpu = virtual_gpu_saturating_at(train.len() / 4, train.len(), d_plus_l);
+
+        // LibSVM stand-in (serial SMO on one CPU thread).
+        let (_, libsvm) = svm::train(
+            &svm::SvmConfig {
+                kernel: KernelKind::Gaussian,
+                bandwidth: spec.bandwidth,
+                c: spec.svm_c,
+                parallel_kernel: false,
+                device_mode: DeviceMode::Sequential,
+                ..svm::SvmConfig::default()
+            },
+            &cpu_one_thread,
+            &train,
+            Some(&test),
+        )
+        .expect("libsvm");
+
+        // ThunderSVM stand-in (parallel kernel rows, parallel device).
+        let (_, thunder) = svm::train(
+            &svm::SvmConfig {
+                kernel: KernelKind::Gaussian,
+                bandwidth: spec.bandwidth,
+                c: spec.svm_c,
+                parallel_kernel: true,
+                device_mode: DeviceMode::Sequential,
+                ..svm::SvmConfig::default()
+            },
+            &parallel_device,
+            &train,
+            Some(&test),
+        )
+        .expect("thundersvm");
+
+        let svm_error = libsvm.test_error.unwrap();
+
+        // EigenPro 2.0: stop at the first epoch whose test accuracy reaches
+        // the SVM's (the paper's protocol).
+        let out = EigenPro2::new(
+            TrainConfig {
+                kernel: KernelKind::Gaussian,
+                bandwidth: spec.bandwidth,
+                epochs: 15,
+                subsample_size: Some(300),
+                early_stopping: None,
+                target_val_error: Some(svm_error),
+                device_mode: DeviceMode::ActualGpu,
+                seed: 13,
+                ..TrainConfig::default()
+            },
+            gpu,
+        )
+        .fit(&train, Some(&test))
+        .expect("eigenpro2");
+        let pred = out.model.predict(&test.features);
+        let ep2_error = metrics::classification_error(&pred, &test.labels);
+
+        sim_rows.push(vec![
+            spec.name.to_string(),
+            format!("{} / {}", train.len(), train.dim()),
+            format!("{} ({})", fmt_secs(out.report.simulated_seconds), fmt_pct(ep2_error)),
+            format!("{} ({})", fmt_secs(thunder.simulated_seconds), fmt_pct(thunder.test_error.unwrap())),
+            format!("{} ({})", fmt_secs(libsvm.simulated_seconds), fmt_pct(svm_error)),
+        ]);
+        wall_rows.push(vec![
+            spec.name.to_string(),
+            fmt_secs(out.report.wall_seconds),
+            fmt_secs(thunder.wall_seconds),
+            fmt_secs(libsvm.wall_seconds),
+        ]);
+    }
+    print_table(
+        "Table 3 (reproduction scale): simulated device time to SVM-level accuracy (test error)",
+        &["dataset", "n / d", "EigenPro 2.0 (GPU)", "ThunderSVM (parallel)", "LibSVM (1 CPU thread)"],
+        &sim_rows,
+    );
+    print_table(
+        "host wall-clock for reference (all methods actually ran on this CPU)",
+        &["dataset", "EigenPro 2.0", "ThunderSVM stand-in", "LibSVM stand-in"],
+        &wall_rows,
+    );
+    println!(
+        "\nShape check (paper's Table 3): EigenPro < ThunderSVM < LibSVM, with EigenPro \
+         1-2 orders of magnitude below LibSVM. The gap widens with n: SMO's pair \
+         updates scale superlinearly while EigenPro's epochs stay O(n²·(d+l)) with \
+         full device utilisation."
+    );
+}

@@ -1,0 +1,123 @@
+//! Table 4: the automatically calculated optimisation parameters —
+//! `q` (and adjusted `q`), `m = m_G`, `η` — for each dataset's selected
+//! kernel and bandwidth, plus the Appendix-C acceleration prediction.
+//!
+//! Two sections:
+//! 1. **Paper scale, analytic Step 1**: the batch-size calculation at the
+//!    paper's `n` on the Titan Xp spec (this is pure `(C_G, S_G)`
+//!    arithmetic and reproduces the paper's `m` column directly);
+//! 2. **Reproduction scale, full pipeline**: Steps 1–2 run end to end on
+//!    the dataset clones with the scaled virtual GPU, reporting every
+//!    derived quantity.
+
+use std::sync::Arc;
+
+use ep2_bench::print_table;
+use ep2_core::autotune;
+use ep2_data::catalog;
+use ep2_device::{batch, ResourceSpec};
+use ep2_kernels::{Kernel, KernelKind};
+
+fn paper_scale_section() {
+    let titan = ResourceSpec::titan_xp();
+    // (dataset, n, d, l, paper-reported m).
+    let rows_spec: Vec<(&str, usize, usize, usize, usize)> = vec![
+        ("MNIST", 1_000_000, 784, 10, 735),
+        ("TIMIT", 1_100_000, 440, 144, 682),
+        ("ImageNet", 1_300_000, 500, 1_000, 294),
+        ("SUSY", 600_000, 18, 2, 1_687),
+    ];
+    let mut rows = Vec::new();
+    for (name, n, d, l, paper_m) in rows_spec {
+        let plan = batch::max_batch(&titan, n, d, l);
+        rows.push(vec![
+            name.to_string(),
+            format!("{n:.1e}"),
+            format!("{d}"),
+            format!("{l}"),
+            plan.capacity_batch.to_string(),
+            plan.memory_batch.to_string(),
+            plan.batch.to_string(),
+            paper_m.to_string(),
+        ]);
+    }
+    print_table(
+        "Table 4, Step-1 column at paper scale (Titan Xp model)",
+        &["dataset", "n", "d", "l", "m^C_G", "m^S_G", "m (ours)", "m (paper)"],
+        &rows,
+    );
+    println!(
+        "note: C_G is calibrated on MNIST (DESIGN.md); the remaining datasets test \
+         the (d + l)·m·n scaling of Step 1. SUSY is small enough that the paper \
+         directly specified a large q (their footnote 6).\n"
+    );
+}
+
+fn reproduction_scale_section() {
+    let device = ResourceSpec::scaled_virtual_gpu();
+    struct Row {
+        name: &'static str,
+        kernel: KernelKind,
+        bandwidth: f64,
+        data: ep2_data::Dataset,
+    }
+    let specs = vec![
+        Row { name: "MNIST", kernel: KernelKind::Gaussian, bandwidth: 5.0, data: catalog::mnist_like(1_500, 41) },
+        Row { name: "TIMIT", kernel: KernelKind::Laplacian, bandwidth: 15.0, data: catalog::timit_like_small_labels(1_500, 36, 42) },
+        Row { name: "ImageNet", kernel: KernelKind::Gaussian, bandwidth: 16.0, data: catalog::imagenet_features_like(1_200, 40, 43) },
+        Row { name: "SUSY", kernel: KernelKind::Gaussian, bandwidth: 4.0, data: catalog::susy_like(1_500, 44) },
+    ];
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let kernel: Arc<dyn Kernel> = spec.kernel.with_bandwidth(spec.bandwidth).into();
+        let (params, _) = autotune::plan(
+            &kernel,
+            &spec.data.features,
+            spec.data.n_classes,
+            &device,
+            Some(400),
+            None,
+            None,
+            17,
+        )
+        .expect("plan");
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{} ({})", spec.kernel, spec.bandwidth),
+            params.q.to_string(),
+            params.adjusted_q.to_string(),
+            params.m.to_string(),
+            format!("{:.1}", params.eta),
+            format!("{:.2}", params.m_star),
+            format!("{:.0}", params.m_star_g),
+            format!("{:.3}", params.beta_g),
+            format!("{:.0}x", params.acceleration),
+        ]);
+    }
+    print_table(
+        "Table 4 at reproduction scale (clones, scaled virtual GPU, s = 400)",
+        &[
+            "dataset",
+            "kernel (σ)",
+            "q (Eq.7)",
+            "adj. q",
+            "m = m_G",
+            "η",
+            "m*(k)",
+            "m*(k_G)",
+            "β(K_G)",
+            "accel (App. C)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape checks vs the paper: m*(k) is small (single digits); the adjusted q \
+         exceeds Eq. (7)'s; η ≈ m/2β (Table-4 pattern); acceleration lands in the \
+         paper's 50-500x band when m^max_G/m*(k) does."
+    );
+}
+
+fn main() {
+    paper_scale_section();
+    reproduction_scale_section();
+}

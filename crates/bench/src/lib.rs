@@ -1,0 +1,199 @@
+//! # ep2-bench — the harness that regenerates every table and figure
+//!
+//! One binary per experiment (see DESIGN.md's experiment index):
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Figure 1 (linear-scaling schematic) | `fig1_linear_scaling` |
+//! | Figure 2 (time to converge vs batch) | `fig2_time_to_converge` |
+//! | Figure 3a (time/iteration vs batch) | `fig3a_time_per_iteration` |
+//! | Figure 3b (time/epoch vs batch, across n) | `fig3b_epoch_time` |
+//! | Table 1 (per-iteration overhead) | `tab1_overhead` |
+//! | Table 2 (vs state-of-the-art kernel methods) | `tab2_sota` |
+//! | Table 3 ("interactive" training vs SVMs) | `tab3_interactive` |
+//! | Table 4 (auto-selected parameters) | `tab4_params` |
+//!
+//! Run any of them with
+//! `cargo run -p ep2-bench --release --bin <name>`.
+//!
+//! This library crate holds the shared pretty-printing and bookkeeping the
+//! binaries use, so their output is uniform and diffable (EXPERIMENTS.md is
+//! generated from these runs).
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Renders a fixed-width ASCII table with a title.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut header_line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(header_line, "| {h:<w$} ", w = w);
+    }
+    header_line.push('|');
+    let sep: String = header_line
+        .chars()
+        .map(|c| if c == '|' { '+' } else { '-' })
+        .collect();
+    let _ = writeln!(out, "{sep}");
+    let _ = writeln!(out, "{header_line}");
+    let _ = writeln!(out, "{sep}");
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "| {cell:<w$} ", w = w);
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{sep}");
+    out
+}
+
+/// Prints a table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", render_table(title, headers, rows));
+}
+
+/// Formats seconds with a sensible unit (`µs`/`ms`/`s`/`m`).
+pub fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        return "n/a".to_string();
+    }
+    if s < 1e-3 {
+        format!("{:.1} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} m", s / 60.0)
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(frac: f64) -> String {
+    format!("{:.2}%", frac * 100.0)
+}
+
+/// Formats a large operation count in engineering notation.
+pub fn fmt_ops(ops: f64) -> String {
+    if ops >= 1e12 {
+        format!("{:.2} Tops", ops / 1e12)
+    } else if ops >= 1e9 {
+        format!("{:.2} Gops", ops / 1e9)
+    } else if ops >= 1e6 {
+        format!("{:.2} Mops", ops / 1e6)
+    } else {
+        format!("{ops:.0} ops")
+    }
+}
+
+/// A literature reference row echoed in Table 2 (numbers transcribed from
+/// the paper for side-by-side context; we do not run these systems).
+#[derive(Debug, Clone)]
+pub struct ReferenceRow {
+    /// Dataset name as the paper labels it.
+    pub dataset: &'static str,
+    /// Method name.
+    pub method: &'static str,
+    /// Reported classification error.
+    pub error: &'static str,
+    /// Reported resource/time.
+    pub resource_time: &'static str,
+}
+
+/// The "Results of Other Methods" column of Table 2, transcribed.
+pub fn table2_reference_rows() -> Vec<ReferenceRow> {
+    vec![
+        ReferenceRow { dataset: "MNIST", method: "EigenPro (paper)", error: "0.70%", resource_time: "4.8 h / GTX Titan X" },
+        ReferenceRow { dataset: "MNIST", method: "PCG (Avron et al.)", error: "0.72%", resource_time: "1.1 h / 1344 vCPUs" },
+        ReferenceRow { dataset: "MNIST", method: "Lu et al. 2014", error: "0.85%", resource_time: "<37.5 h / Tesla K20m" },
+        ReferenceRow { dataset: "ImageNet", method: "Inception-ResNet-v2", error: "19.9%", resource_time: "-" },
+        ReferenceRow { dataset: "ImageNet", method: "FALKON (paper)", error: "20.7%", resource_time: "4 h / Tesla K40c" },
+        ReferenceRow { dataset: "TIMIT", method: "EigenPro (paper)", error: "31.7%", resource_time: "3.2 h / GTX Titan X" },
+        ReferenceRow { dataset: "TIMIT", method: "FALKON (paper)", error: "32.3%", resource_time: "1.5 h / Tesla K40c" },
+        ReferenceRow { dataset: "TIMIT", method: "Ensemble (Huang et al.)", error: "33.5%", resource_time: "512 BlueGene/Q cores" },
+        ReferenceRow { dataset: "TIMIT", method: "BCD (Tu et al.)", error: "33.5%", resource_time: "7.5 h / 1024 vCPUs" },
+        ReferenceRow { dataset: "SUSY", method: "EigenPro (paper)", error: "19.8%", resource_time: "6 m / GTX Titan X" },
+        ReferenceRow { dataset: "SUSY", method: "FALKON (paper)", error: "19.6%", resource_time: "4 m / Tesla K40c" },
+        ReferenceRow { dataset: "SUSY", method: "Hierarchical (Chen et al.)", error: "~20%", resource_time: "36 m / IBM POWER8" },
+    ]
+}
+
+/// A virtual GPU whose parallel capacity saturates at batch `m` for an
+/// `(n, d + l)`-shaped problem — the reduced-scale analogue of the Titan Xp
+/// keeping the paper's `m ≪ n` regime (`C_G = (d + l) · m · n`).
+pub fn virtual_gpu_saturating_at(m: usize, n: usize, d_plus_l: usize) -> ep2_device::ResourceSpec {
+    let c = (d_plus_l * m * n) as f64;
+    ep2_device::ResourceSpec::new("virtual GPU (scaled)", c, 4.0e8, 2.0e11, 1.0e-5)
+}
+
+/// Geometric sweep `start, start·2, …, ≤ end` (always non-empty).
+pub fn pow2_sweep(start: usize, end: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut m = start.max(1);
+    while m <= end {
+        v.push(m);
+        m *= 2;
+    }
+    if v.is_empty() {
+        v.push(start.max(1));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["x".into(), "y".into()], vec!["longer-cell".into(), "z".into()]],
+        );
+        assert!(s.contains("== t =="));
+        assert!(s.contains("| longer-cell "));
+        // All body lines equal width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(0.5e-4), "50.0 µs");
+        assert_eq!(fmt_secs(0.5), "500.0 ms");
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+        assert_eq!(fmt_secs(600.0), "10.0 m");
+        assert_eq!(fmt_pct(0.1234), "12.34%");
+        assert!(fmt_ops(3e9).contains("Gops"));
+    }
+
+    #[test]
+    fn sweep_covers_range() {
+        assert_eq!(pow2_sweep(1, 8), vec![1, 2, 4, 8]);
+        assert_eq!(pow2_sweep(3, 10), vec![3, 6]);
+        assert_eq!(pow2_sweep(5, 4), vec![5]);
+    }
+
+    #[test]
+    fn reference_rows_cover_all_table2_datasets() {
+        let rows = table2_reference_rows();
+        for ds in ["MNIST", "ImageNet", "TIMIT", "SUSY"] {
+            assert!(rows.iter().any(|r| r.dataset == ds), "{ds} missing");
+        }
+    }
+}

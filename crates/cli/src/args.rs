@@ -1,0 +1,129 @@
+//! Minimal dependency-free argument parsing for the `ep2` binary.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options
+/// (`--flag` with no value stores an empty string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Option map, keys without the leading `--`.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parses an argument vector (excluding the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed input (missing
+/// subcommand, value-less option at end, unexpected positional).
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut iter = args.iter().peekable();
+    let command = iter
+        .next()
+        .ok_or_else(|| "missing subcommand (try `ep2 help`)".to_string())?
+        .clone();
+    if command.starts_with("--") {
+        return Err(format!("expected a subcommand before {command}"));
+    }
+    let mut options = BTreeMap::new();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected positional argument {arg}"));
+        };
+        // `--key=value` or `--key value` or bare `--flag`.
+        if let Some((k, v)) = key.split_once('=') {
+            options.insert(k.to_string(), v.to_string());
+        } else if iter.peek().map(|next| !next.starts_with("--")).unwrap_or(false) {
+            options.insert(key.to_string(), iter.next().unwrap().clone());
+        } else {
+            options.insert(key.to_string(), String::new());
+        }
+    }
+    Ok(Parsed { command, options })
+}
+
+impl Parsed {
+    /// Fetches an option parsed into `T`, or the default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value fails to parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// Fetches an optional option parsed into `T`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value fails to parse.
+    pub fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    /// Whether a bare flag was supplied.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let p = parse(&v(&["train", "--dataset", "mnist-like", "--n", "2000"])).unwrap();
+        assert_eq!(p.command, "train");
+        assert_eq!(p.options["dataset"], "mnist-like");
+        assert_eq!(p.get_or("n", 0usize).unwrap(), 2000);
+    }
+
+    #[test]
+    fn parses_equals_form_and_flags() {
+        let p = parse(&v(&["plan", "--sigma=5.5", "--verbose"])).unwrap();
+        assert_eq!(p.get_or("sigma", 0.0).unwrap(), 5.5);
+        assert!(p.flag("verbose"));
+        assert!(!p.flag("quiet"));
+    }
+
+    #[test]
+    fn rejects_missing_subcommand() {
+        assert!(parse(&v(&[])).is_err());
+        assert!(parse(&v(&["--oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        let p = parse(&v(&["train", "--n", "abc"])).unwrap();
+        assert!(p.get_or("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn get_opt_none_when_absent() {
+        let p = parse(&v(&["plan"])).unwrap();
+        assert_eq!(p.get_opt::<usize>("q").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_positional_after_command() {
+        assert!(parse(&v(&["train", "stray"])).is_err());
+    }
+}

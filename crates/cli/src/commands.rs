@@ -1,0 +1,350 @@
+//! Subcommand implementations for the `ep2` binary.
+
+use std::sync::Arc;
+
+use ep2_core::autotune;
+use ep2_core::trainer::{EarlyStopping, EigenPro2, TrainConfig};
+use ep2_data::{catalog, Dataset};
+use ep2_device::{DeviceMode, ResourceSpec};
+use ep2_kernels::{Kernel, KernelKind};
+
+use crate::args::Parsed;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: ep2 <command> [options]
+
+commands:
+  devices                         list device presets
+  datasets                        list synthetic dataset clones
+  plan     compute the analytic parameters (Table-4 row) for a dataset
+  train    train EigenPro 2.0 and report per-epoch metrics
+  help     show this message
+
+common options:
+  --dataset <name>    mnist-like | cifar10-like | svhn-like | timit-like |
+                      imagenet-like | susy-like           (default mnist-like)
+  --n <int>           dataset size                        (default 2000)
+  --kernel <name>     gaussian | laplacian | cauchy | matern32 | matern52 | rq
+  --sigma <float>     kernel bandwidth                    (default 5)
+  --device <name>     titan-xp | k40c | cpu | virtual     (default virtual)
+  --seed <int>        RNG seed                            (default 0)
+
+plan/train options:
+  --s <int>           Nystrom block size (default: paper rule)
+  --q <int>           spectral truncation (default: Eq. 7 + adjustment)
+  --batch <int>       mini-batch override (default: m^max_G)
+  --epochs <int>      epoch cap for train            (default 10)
+  --test-frac <f64>   held-out fraction for train    (default 0.2)
+  --no-early-stop     disable validation early stopping
+  --save <path>       write the trained model (EP2M binary format)
+
+eval options:
+  --model <path>      trained model to load
+  (plus the dataset options above for the evaluation split)
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands/options or
+/// training failures.
+pub fn run(parsed: &Parsed) -> Result<(), String> {
+    match parsed.command.as_str() {
+        "help" | "-h" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        "devices" => devices(),
+        "datasets" => datasets(),
+        "plan" => plan(parsed),
+        "train" => train(parsed),
+        "eval" => eval_model(parsed),
+        other => Err(format!("unknown command {other} (try `ep2 help`)")),
+    }
+}
+
+fn devices() -> Result<(), String> {
+    println!("{:<24} {:>12} {:>12} {:>12} {:>10}", "name", "C_G", "S_G", "peak ops/s", "overhead");
+    for spec in [
+        ResourceSpec::titan_xp(),
+        ResourceSpec::tesla_k40c(),
+        ResourceSpec::cpu_host(),
+        ResourceSpec::scaled_virtual_gpu(),
+    ] {
+        println!(
+            "{:<24} {:>12.2e} {:>12.2e} {:>12.2e} {:>9.1e}s",
+            spec.name, spec.parallel_capacity, spec.memory_floats, spec.peak_flops, spec.launch_overhead
+        );
+    }
+    Ok(())
+}
+
+fn datasets() -> Result<(), String> {
+    println!("{:<16} {:>6} {:>8}  preprocessing", "name", "d", "classes");
+    for (name, d, classes, prep) in [
+        ("mnist-like", 784, 10, "min-max [0,1]"),
+        ("cifar10-like", 1024, 10, "min-max [0,1]"),
+        ("svhn-like", 1024, 10, "min-max [0,1]"),
+        ("timit-like", 440, 144, "z-score"),
+        ("imagenet-like", 500, 100, "z-score (PCA features)"),
+        ("susy-like", 18, 2, "z-score"),
+    ] {
+        println!("{name:<16} {d:>6} {classes:>8}  {prep}");
+    }
+    Ok(())
+}
+
+fn load_dataset(parsed: &Parsed) -> Result<Dataset, String> {
+    let name = parsed
+        .options
+        .get("dataset")
+        .map(String::as_str)
+        .unwrap_or("mnist-like");
+    let n: usize = parsed.get_or("n", 2_000)?;
+    let seed: u64 = parsed.get_or("seed", 0)?;
+    if n == 0 {
+        return Err("--n must be positive".to_string());
+    }
+    Ok(match name {
+        "mnist-like" => catalog::mnist_like(n, seed),
+        "cifar10-like" => catalog::cifar10_like(n, seed),
+        "svhn-like" => catalog::svhn_like(n, seed),
+        "timit-like" => catalog::timit_like(n, seed),
+        "imagenet-like" => catalog::imagenet_features_like(n, 100, seed),
+        "susy-like" => catalog::susy_like(n, seed),
+        other => return Err(format!("unknown dataset {other} (see `ep2 datasets`)")),
+    })
+}
+
+fn load_device(parsed: &Parsed) -> Result<ResourceSpec, String> {
+    match parsed
+        .options
+        .get("device")
+        .map(String::as_str)
+        .unwrap_or("virtual")
+    {
+        "titan-xp" => Ok(ResourceSpec::titan_xp()),
+        "k40c" => Ok(ResourceSpec::tesla_k40c()),
+        "cpu" => Ok(ResourceSpec::cpu_host()),
+        "virtual" => Ok(ResourceSpec::scaled_virtual_gpu()),
+        other => Err(format!("unknown device {other} (see `ep2 devices`)")),
+    }
+}
+
+fn load_kernel_kind(parsed: &Parsed) -> Result<KernelKind, String> {
+    let name = parsed
+        .options
+        .get("kernel")
+        .map(String::as_str)
+        .unwrap_or("gaussian");
+    KernelKind::parse(name).ok_or_else(|| format!("unknown kernel {name}"))
+}
+
+fn plan(parsed: &Parsed) -> Result<(), String> {
+    let dataset = load_dataset(parsed)?;
+    let device = load_device(parsed)?;
+    let kind = load_kernel_kind(parsed)?;
+    let sigma: f64 = parsed.get_or("sigma", 5.0)?;
+    let seed: u64 = parsed.get_or("seed", 0)?;
+    let kernel: Arc<dyn Kernel> = kind.with_bandwidth(sigma).into();
+    let (params, _) = autotune::plan(
+        &kernel,
+        &dataset.features,
+        dataset.n_classes,
+        &device,
+        parsed.get_opt("s")?,
+        parsed.get_opt("q")?,
+        parsed.get_opt("batch")?,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("dataset: {} (n = {}, d = {}, l = {})", dataset.name, dataset.len(), dataset.dim(), dataset.n_classes);
+    println!("device:  {} | kernel: {kind} (sigma = {sigma})", device.name);
+    println!();
+    println!("Step 1   m^C_G = {}   m^S_G = {}   m = {}", params.capacity_batch, params.memory_batch, params.m);
+    println!("Step 2   q(Eq.7) = {}   adjusted q = {}   s = {}", params.q, params.adjusted_q, params.s);
+    println!("Step 3   eta = {:.2}", params.eta);
+    println!();
+    println!("m*(k)   = {:.2}   (beta = {:.3}, lambda1 = {:.5})", params.m_star, params.beta, params.lambda1);
+    println!("m*(k_G) = {:.0}   (beta_G = {:.3}, lambda1_G = {:.6})", params.m_star_g, params.beta_g, params.lambda1_g);
+    println!("predicted acceleration (Appendix C): {:.0}x", params.acceleration);
+    Ok(())
+}
+
+fn eval_model(parsed: &Parsed) -> Result<(), String> {
+    let path = parsed
+        .options
+        .get("model")
+        .ok_or_else(|| "--model <path> is required".to_string())?;
+    let model = ep2_core::persist::load(path).map_err(|e| e.to_string())?;
+    let dataset = load_dataset(parsed)?;
+    if dataset.dim() != model.dim() {
+        return Err(format!(
+            "model expects d = {}, dataset has d = {}",
+            model.dim(),
+            dataset.dim()
+        ));
+    }
+    let pred = model.predict(&dataset.features);
+    let err = ep2_data::metrics::classification_error(&pred, &dataset.labels);
+    println!(
+        "model: {} kernel, sigma = {}, {} centers, {} outputs",
+        model.kernel().name(),
+        model.kernel().bandwidth(),
+        model.n_centers(),
+        model.n_outputs()
+    );
+    println!("evaluated on {} ({} rows): error {:.2}%", dataset.name, dataset.len(), err * 100.0);
+    Ok(())
+}
+
+fn train(parsed: &Parsed) -> Result<(), String> {
+    let dataset = load_dataset(parsed)?;
+    let device = load_device(parsed)?;
+    let kind = load_kernel_kind(parsed)?;
+    let sigma: f64 = parsed.get_or("sigma", 5.0)?;
+    let epochs: usize = parsed.get_or("epochs", 10)?;
+    let test_frac: f64 = parsed.get_or("test-frac", 0.2)?;
+    if !(0.0..1.0).contains(&test_frac) {
+        return Err("--test-frac must be in [0, 1)".to_string());
+    }
+    let train_n = ((dataset.len() as f64) * (1.0 - test_frac)).round() as usize;
+    let (train_set, test_set) = dataset.split_at(train_n.clamp(1, dataset.len()));
+    let val = if test_set.is_empty() { None } else { Some(&test_set) };
+
+    let config = TrainConfig {
+        kernel: kind,
+        bandwidth: sigma,
+        epochs,
+        subsample_size: parsed.get_opt("s")?,
+        q: parsed.get_opt("q")?,
+        batch_size: parsed.get_opt("batch")?,
+        step_size: None,
+        early_stopping: if parsed.flag("no-early-stop") {
+            None
+        } else {
+            Some(EarlyStopping::default())
+        },
+        target_train_mse: None,
+        target_val_error: None,
+        device_mode: DeviceMode::ActualGpu,
+        seed: parsed.get_or("seed", 0)?,
+    };
+    let outcome = EigenPro2::new(config, device)
+        .fit(&train_set, val)
+        .map_err(|e| e.to_string())?;
+
+    let p = &outcome.report.params;
+    println!(
+        "{}: n = {} train / {} test | {kind} sigma = {sigma} | m = {}, q = {}, eta = {:.1}",
+        train_set.name,
+        train_set.len(),
+        test_set.len(),
+        p.m,
+        p.adjusted_q,
+        p.eta
+    );
+    for e in &outcome.report.epochs {
+        match e.val_error {
+            Some(ve) => println!(
+                "epoch {:>3}  train mse {:.3e}  test error {:>6.2}%  (sim {:.1} ms)",
+                e.epoch,
+                e.train_mse,
+                ve * 100.0,
+                e.simulated_seconds * 1e3
+            ),
+            None => println!(
+                "epoch {:>3}  train mse {:.3e}  (sim {:.1} ms)",
+                e.epoch, e.train_mse, e.simulated_seconds * 1e3
+            ),
+        }
+    }
+    println!(
+        "done: {:?} | {} iterations | sim {:.1} ms | wall {:.2} s | precond overhead {:.2}%",
+        outcome.report.stop_reason,
+        outcome.report.iterations,
+        outcome.report.simulated_seconds * 1e3,
+        outcome.report.wall_seconds,
+        outcome.report.overhead_fraction * 100.0
+    );
+    if let Some(path) = parsed.options.get("save") {
+        ep2_core::persist::save(&outcome.model, path).map_err(|e| e.to_string())?;
+        println!("model saved to {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+
+    fn parsed(argv: &[&str]) -> Parsed {
+        args::parse(&argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&parsed(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_and_listings_succeed() {
+        assert!(run(&parsed(&["help"])).is_ok());
+        assert!(run(&parsed(&["devices"])).is_ok());
+        assert!(run(&parsed(&["datasets"])).is_ok());
+    }
+
+    #[test]
+    fn plan_small_dataset() {
+        let p = parsed(&["plan", "--dataset", "susy-like", "--n", "300", "--sigma", "4", "--s", "120"]);
+        assert!(run(&p).is_ok());
+    }
+
+    #[test]
+    fn train_small_dataset() {
+        let p = parsed(&[
+            "train", "--dataset", "susy-like", "--n", "300", "--sigma", "4", "--s", "100",
+            "--epochs", "2",
+        ]);
+        assert!(run(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_dataset_kernel_device() {
+        assert!(run(&parsed(&["plan", "--dataset", "nope", "--n", "100"])).is_err());
+        assert!(run(&parsed(&["plan", "--kernel", "nope"])).is_err());
+        assert!(run(&parsed(&["plan", "--device", "nope"])).is_err());
+    }
+
+    #[test]
+    fn train_save_then_eval_round_trip() {
+        let dir = std::env::temp_dir().join("ep2_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cli_model.ep2m");
+        let path_s = path.to_string_lossy().to_string();
+        let p = parsed(&[
+            "train", "--dataset", "susy-like", "--n", "200", "--sigma", "4", "--s", "80",
+            "--epochs", "1", "--save", &path_s,
+        ]);
+        assert!(run(&p).is_ok());
+        let e = parsed(&["eval", "--model", &path_s, "--dataset", "susy-like", "--n", "100"]);
+        assert!(run(&e).is_ok());
+        // Dimension mismatch is caught.
+        let bad = parsed(&["eval", "--model", &path_s, "--dataset", "mnist-like", "--n", "50"]);
+        assert!(run(&bad).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eval_requires_model() {
+        assert!(run(&parsed(&["eval"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_test_frac() {
+        assert!(run(&parsed(&["train", "--dataset", "susy-like", "--n", "100", "--test-frac", "1.5"])).is_err());
+    }
+}

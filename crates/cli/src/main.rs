@@ -1,0 +1,32 @@
+//! `ep2` — command-line interface to the EigenPro 2.0 reproduction.
+//!
+//! ```text
+//! ep2 devices                               # list device presets
+//! ep2 datasets                              # list dataset clones
+//! ep2 plan  --dataset mnist-like --n 2000 --kernel gaussian --sigma 5
+//! ep2 train --dataset mnist-like --n 2000 --kernel laplacian --sigma 10 --epochs 8
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Operation counting.
+//!
+//! Every training iteration reports its operation count here; the totals
+//! drive the simulated GPU clock and let the Table-1 harness print
+//! *measured* per-iteration costs next to the analytic formulas.
+
+/// Accumulated operation counts, split into the standard-SGD part
+/// (Steps 2–3 of Algorithm 1) and the preconditioner overhead (Steps 4–5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FlopCounter {
+    /// Operations spent in the SGD part (`n·m·(d+l)` per iteration).
+    pub sgd_ops: f64,
+    /// Operations spent applying the preconditioner
+    /// (`s·m·q + q·m·l + s·q·l` per iteration).
+    pub precond_ops: f64,
+    /// Iterations recorded.
+    pub iterations: u64,
+}
+
+impl FlopCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        FlopCounter::default()
+    }
+
+    /// Records one iteration's costs.
+    pub fn record(&mut self, sgd_ops: f64, precond_ops: f64) {
+        self.sgd_ops += sgd_ops;
+        self.precond_ops += precond_ops;
+        self.iterations += 1;
+    }
+
+    /// Total operations.
+    pub fn total_ops(&self) -> f64 {
+        self.sgd_ops + self.precond_ops
+    }
+
+    /// Preconditioner overhead as a fraction of the SGD cost (the quantity
+    /// Table 1 bounds below 1% at paper scale).
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.sgd_ops == 0.0 {
+            0.0
+        } else {
+            self.precond_ops / self.sgd_ops
+        }
+    }
+
+    /// Mean operations per iteration.
+    pub fn ops_per_iteration(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.total_ops() / self.iterations as f64
+        }
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = FlopCounter::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reports() {
+        let mut c = FlopCounter::new();
+        c.record(100.0, 1.0);
+        c.record(100.0, 1.0);
+        assert_eq!(c.total_ops(), 202.0);
+        assert_eq!(c.iterations, 2);
+        assert!((c.overhead_fraction() - 0.01).abs() < 1e-12);
+        assert_eq!(c.ops_per_iteration(), 101.0);
+    }
+
+    #[test]
+    fn zero_state_is_safe() {
+        let c = FlopCounter::new();
+        assert_eq!(c.overhead_fraction(), 0.0);
+        assert_eq!(c.ops_per_iteration(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = FlopCounter::new();
+        c.record(5.0, 5.0);
+        c.reset();
+        assert_eq!(c, FlopCounter::new());
+    }
+}

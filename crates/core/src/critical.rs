@@ -1,0 +1,232 @@
+//! Critical batch sizes, Eq.-(7) selection of `q`, convergence rates and
+//! optimal step sizes — the analytic core of "adaptivity to data and
+//! computational resource".
+//!
+//! From Ma–Bassily–Belkin 2017 (Theorem 4), mini-batch SGD in the
+//! interpolation regime with optimal constant step size contracts per
+//! iteration by
+//!
+//! `g*(m) = 1 − m λ_n / (β + (m − 1) λ₁)`
+//!
+//! which improves nearly linearly in `m` until the *critical batch size*
+//! `m*(k) = β(K) / λ₁(K)` and saturates after. EigenPro 2.0 replaces
+//! `λ₁(K)` by `λ_{q+1}(K)` (the adaptive kernel's top eigenvalue), pushing
+//! `m*` up to the hardware's `m^max_G`.
+
+/// `m*(k) = β / λ₁` — the critical batch size of a kernel whose normalised
+/// matrix has top eigenvalue `lambda1`.
+///
+/// # Panics
+///
+/// Panics if `lambda1 <= 0` or `beta <= 0`.
+pub fn critical_batch(beta: f64, lambda1: f64) -> f64 {
+    assert!(lambda1 > 0.0, "lambda1 must be positive");
+    assert!(beta > 0.0, "beta must be positive");
+    beta / lambda1
+}
+
+/// Eq. (7): the smallest spectral truncation `q` whose adaptive kernel
+/// saturates the resource, `q = max { i : m*(k_{P_i}) ≤ m^max_G }`.
+///
+/// `spectrum` holds the subsample eigenvalues `σ_1 ≥ σ_2 ≥ …` of `K_s`;
+/// with `λ_{i+1} ≈ σ_{i+1}/s` and `β ≈ 1`, `m*(k_{P_i}) = s / σ_{i+1}`.
+/// Returns 0 when even the original kernel satisfies `m*(k) ≥ m^max_G` (no
+/// preconditioning needed). The result is capped at `spectrum.len() − 2` so
+/// a valid damping target `σ_{q+1}` always exists.
+pub fn select_q(spectrum: &[f64], s: usize, m_max: usize) -> usize {
+    assert!(s > 0, "s must be positive");
+    if spectrum.len() < 2 {
+        return 0;
+    }
+    let cap = spectrum.len() - 2;
+    let mut q = 0usize;
+    // σ_{i+1} in 1-based terms is the m*(k_{P_i}) denominator.
+    for (i, &sigma_next) in spectrum.iter().enumerate().take(cap + 1) {
+        if sigma_next <= 0.0 {
+            break;
+        }
+        let m_star_i = s as f64 / sigma_next;
+        if m_star_i <= m_max as f64 {
+            q = i;
+        } else {
+            break;
+        }
+    }
+    q
+}
+
+/// The Appendix-B "adjusted q" heuristic: in practice the paper chooses a
+/// `q` *larger* than Eq. (7)'s ("increasing q appears to lead to faster
+/// convergence"), based on the eigenvalue decay and the block size `s`.
+///
+/// This instantiation extends `q` to the last eigenvalue still above
+/// `rel_floor · σ₁`, capped at `s / 8` (so the eigensystem remains
+/// accurately estimable from `s` samples) and never below Eq. (7)'s `q`.
+pub fn adjust_q(spectrum: &[f64], s: usize, q_eq7: usize, rel_floor: f64) -> usize {
+    if spectrum.len() < 2 {
+        return q_eq7;
+    }
+    let cap = (s / 8).min(spectrum.len() - 2).max(q_eq7);
+    let floor = spectrum[0] * rel_floor;
+    let mut q = q_eq7;
+    for (i, &sigma) in spectrum.iter().enumerate().take(cap + 1) {
+        if sigma >= floor && sigma > 0.0 {
+            q = q.max(i);
+        } else {
+            break;
+        }
+    }
+    q.min(cap)
+}
+
+/// Ma et al. 2017 optimal constant step size for batch size `m`:
+/// `η*(m) = m / (β + (m − 1) λ₁)`.
+///
+/// With `m = m*(k_G)` this reduces to `≈ m / 2β`, matching the paper's
+/// Table-4 values (e.g. MNIST: `m = 735`, `η = 379`).
+///
+/// # Panics
+///
+/// Panics if `m == 0`, `beta <= 0`, or `lambda1 <= 0`.
+pub fn optimal_step_size(m: usize, beta: f64, lambda1: f64) -> f64 {
+    assert!(m > 0, "m must be positive");
+    assert!(beta > 0.0 && lambda1 > 0.0, "beta and lambda1 must be positive");
+    m as f64 / (beta + (m as f64 - 1.0) * lambda1)
+}
+
+/// Per-iteration contraction factor `g*(m) = 1 − m λ_n / (β + (m−1) λ₁)`
+/// (squared-norm convergence bound, Theorem 4 of Ma et al. 2017).
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive (except `m ≥ 1`).
+pub fn convergence_rate(m: usize, beta: f64, lambda1: f64, lambda_n: f64) -> f64 {
+    assert!(m > 0 && beta > 0.0 && lambda1 > 0.0 && lambda_n > 0.0);
+    1.0 - (m as f64) * lambda_n / (beta + (m as f64 - 1.0) * lambda1)
+}
+
+/// Convergence *speedup per iteration* relative to `m = 1`:
+/// `log g*(m) / log g*(1)` — the y-axis of the schematic Figure 1. Linear in
+/// `m` until `m*`, flat after.
+pub fn speedup_over_single(m: usize, beta: f64, lambda1: f64, lambda_n: f64) -> f64 {
+    let g1 = convergence_rate(1, beta, lambda1, lambda_n);
+    let gm = convergence_rate(m, beta, lambda1, lambda_n);
+    gm.ln() / g1.ln()
+}
+
+/// Iterations needed to contract the squared error by `epsilon` under rate
+/// `g`: `log ε / log g`.
+///
+/// # Panics
+///
+/// Panics if `epsilon` or `g` is outside `(0, 1)`.
+pub fn iterations_to_accuracy(epsilon: f64, g: f64) -> f64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    assert!(g > 0.0 && g < 1.0, "rate must be in (0,1)");
+    epsilon.ln() / g.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_batch_formula() {
+        assert_eq!(critical_batch(1.0, 0.25), 4.0);
+        assert_eq!(critical_batch(2.0, 0.5), 4.0);
+    }
+
+    #[test]
+    fn select_q_monotone_in_m_max() {
+        // Geometric spectrum σ_i = 2^{-i}, s = 64: m*(k_{P_i}) = 64·2^{i}...
+        let spectrum: Vec<f64> = (0..20).map(|i| 2.0_f64.powi(-i)).collect();
+        let q_small = select_q(&spectrum, 64, 128);
+        let q_big = select_q(&spectrum, 64, 4096);
+        assert!(q_big > q_small);
+        // m*(k_{P_i}) = 64·2^i ≤ 128 → i ≤ 1.
+        assert_eq!(q_small, 1);
+        // 64·2^i ≤ 4096 → i ≤ 6.
+        assert_eq!(q_big, 6);
+    }
+
+    #[test]
+    fn select_q_zero_when_original_kernel_suffices() {
+        // Flat spectrum: m*(k) = s/σ₁ already exceeds m_max.
+        let spectrum = vec![0.5, 0.49, 0.48];
+        assert_eq!(select_q(&spectrum, 10, 5), 0);
+    }
+
+    #[test]
+    fn select_q_capped_by_spectrum_length() {
+        let spectrum = vec![1.0, 0.5, 0.25];
+        // Huge m_max: q must still leave a damping target.
+        assert_eq!(select_q(&spectrum, 4, 1_000_000), 1);
+    }
+
+    #[test]
+    fn adjust_q_extends_but_respects_cap() {
+        let spectrum: Vec<f64> = (0..100).map(|i| 0.9_f64.powi(i)).collect();
+        let q7 = 5;
+        let adj = adjust_q(&spectrum, 400, q7, 1e-4);
+        assert!(adj >= q7);
+        assert!(adj <= 50); // s/8
+    }
+
+    #[test]
+    fn adjust_q_never_below_eq7() {
+        let spectrum = vec![1.0, 1e-9, 1e-10, 1e-11];
+        assert_eq!(adjust_q(&spectrum, 80, 2, 1e-4), 2);
+    }
+
+    #[test]
+    fn step_size_approaches_half_m_over_beta_at_mstar() {
+        // At m = m* = β/λ₁: η = m/(β + (m−1)λ₁) ≈ m/(2β − λ₁).
+        let beta = 1.0;
+        let lambda1 = 1.0 / 735.0;
+        let m = 735;
+        let eta = optimal_step_size(m, beta, lambda1);
+        assert!((eta - 735.0 / (2.0 - lambda1)).abs() < 1e-9);
+        assert!((367.0..369.0).contains(&eta));
+    }
+
+    #[test]
+    fn rate_improves_linearly_below_mstar_saturates_after() {
+        let (beta, l1, ln) = (1.0, 0.25, 1e-4);
+        let m_star = critical_batch(beta, l1) as usize; // 4
+        // Below m*: speedup grows with m and tracks the theory's
+        // m / (1 + (m−1)λ₁/β) "near-linear" curve.
+        let mut prev = 0.0;
+        for m in 1..=m_star {
+            let s = speedup_over_single(m, beta, l1, ln);
+            let theory = m as f64 / (1.0 + (m as f64 - 1.0) * l1 / beta);
+            assert!(s > prev, "speedup not increasing at m = {m}");
+            assert!((s - theory).abs() / theory < 0.05, "m = {m}, speedup = {s}");
+            prev = s;
+        }
+        // Far above m*: speedup stays bounded near 1/λ₁ = m*.
+        let s_big = speedup_over_single(100 * m_star, beta, l1, ln);
+        assert!(s_big < 2.0 * m_star as f64, "saturated speedup {s_big}");
+    }
+
+    #[test]
+    fn preconditioning_raises_saturation_point() {
+        let (beta, ln) = (1.0, 1e-5);
+        let l1_orig = 0.25; // m* = 4
+        let l1_precond = 1e-3; // m* = 1000
+        let m = 500;
+        let s_orig = speedup_over_single(m, beta, l1_orig, ln);
+        let s_precond = speedup_over_single(m, beta, l1_precond, ln);
+        assert!(
+            s_precond > 50.0 * s_orig,
+            "precond {s_precond} vs orig {s_orig}"
+        );
+    }
+
+    #[test]
+    fn iterations_to_accuracy_decreases_with_better_rate() {
+        let fast = iterations_to_accuracy(1e-4, 0.9);
+        let slow = iterations_to_accuracy(1e-4, 0.999);
+        assert!(fast < slow);
+        assert!((iterations_to_accuracy(0.5, 0.5) - 1.0).abs() < 1e-12);
+    }
+}

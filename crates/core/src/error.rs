@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use ep2_linalg::LinalgError;
+
+/// Errors produced by EigenPro 2.0 training and setup.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A linear-algebra routine failed (eigensolver, Cholesky, ...).
+    Linalg(LinalgError),
+    /// The training configuration is inconsistent with the data or device.
+    InvalidConfig {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// The device memory ledger rejected a required allocation.
+    DeviceMemory {
+        /// Human-readable description from the ledger.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            CoreError::DeviceMemory { message } => write!(f, "device memory: {message}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for CoreError {
+    fn from(e: LinalgError) -> Self {
+        CoreError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(LinalgError::NotPositiveDefinite { pivot: 2 });
+        assert!(e.to_string().contains("pivot 2"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,206 @@
+//! The kernel predictor `f(x) = Σ_i α_i k(x_i, x)`.
+
+use std::sync::Arc;
+
+use ep2_kernels::{matrix as kmat, Kernel};
+use ep2_linalg::{blas, Matrix};
+
+/// A kernel machine: training points as centers plus an `n x l` weight
+/// matrix `α`.
+///
+/// Both EigenPro 2.0 and every baseline (plain SGD, EigenPro 1, FALKON's
+/// Nyström-restricted variant, the direct solver) produce predictions
+/// through this type, so evaluation code is shared and comparisons are
+/// apples-to-apples.
+#[derive(Debug, Clone)]
+pub struct KernelModel {
+    kernel: Arc<dyn Kernel>,
+    centers: Matrix,
+    weights: Matrix,
+}
+
+impl KernelModel {
+    /// Creates a model with zero weights over the given centers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` is empty or `l == 0`.
+    pub fn zeros(kernel: Arc<dyn Kernel>, centers: Matrix, l: usize) -> Self {
+        assert!(centers.rows() > 0, "model needs at least one center");
+        assert!(l > 0, "label dimension must be positive");
+        let weights = Matrix::zeros(centers.rows(), l);
+        KernelModel {
+            kernel,
+            centers,
+            weights,
+        }
+    }
+
+    /// Creates a model from explicit weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.rows() != centers.rows()`.
+    pub fn from_weights(kernel: Arc<dyn Kernel>, centers: Matrix, weights: Matrix) -> Self {
+        assert_eq!(weights.rows(), centers.rows(), "weights/centers mismatch");
+        KernelModel {
+            kernel,
+            centers,
+            weights,
+        }
+    }
+
+    /// Number of centers `n`.
+    pub fn n_centers(&self) -> usize {
+        self.centers.rows()
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.centers.cols()
+    }
+
+    /// Output dimension `l`.
+    pub fn n_outputs(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// The kernel in use.
+    pub fn kernel(&self) -> &Arc<dyn Kernel> {
+        &self.kernel
+    }
+
+    /// The center matrix (training features).
+    pub fn centers(&self) -> &Matrix {
+        &self.centers
+    }
+
+    /// The weight matrix `α` (`n x l`).
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutable access to the weights — the coordinate blocks Algorithm 1
+    /// updates.
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Predicts `f(x)` for every row of `x`, returning an
+    /// `(x.rows(), l)` matrix. Evaluation is blocked so the transient
+    /// kernel block stays below ~`block_rows x n` memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()`.
+    pub fn predict(&self, x: &Matrix) -> Matrix {
+        self.predict_blocked(x, 1024)
+    }
+
+    /// [`KernelModel::predict`] with an explicit evaluation block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()` or `block_rows == 0`.
+    pub fn predict_blocked(&self, x: &Matrix, block_rows: usize) -> Matrix {
+        assert_eq!(x.cols(), self.dim(), "predict: feature dim mismatch");
+        assert!(block_rows > 0, "block_rows must be positive");
+        let m = x.rows();
+        let l = self.n_outputs();
+        let mut out = Matrix::zeros(m, l);
+        let mut row0 = 0;
+        while row0 < m {
+            let rows = block_rows.min(m - row0);
+            let block = x.submatrix(row0, 0, rows, x.cols());
+            // K_block: rows x n, then f = K_block · α.
+            let k_block = kmat::kernel_cross(self.kernel.as_ref(), &block, &self.centers);
+            let mut f_block = Matrix::zeros(rows, l);
+            blas::gemm(1.0, &k_block, &self.weights, 0.0, &mut f_block);
+            for i in 0..rows {
+                out.row_mut(row0 + i).copy_from_slice(f_block.row(i));
+            }
+            row0 += rows;
+        }
+        out
+    }
+
+    /// Predicts from a precomputed kernel block `k_block[i][j] = k(x_i,
+    /// c_j)` (used inside the training loop where the block is already
+    /// available), returning `k_block · α`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_block.cols() != self.n_centers()`.
+    pub fn predict_from_kernel_block(&self, k_block: &Matrix) -> Matrix {
+        assert_eq!(k_block.cols(), self.n_centers(), "kernel block width mismatch");
+        let mut f = Matrix::zeros(k_block.rows(), self.n_outputs());
+        blas::gemm(1.0, k_block, &self.weights, 0.0, &mut f);
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ep2_kernels::GaussianKernel;
+
+    fn toy_model() -> KernelModel {
+        let centers = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 0.0]]);
+        let kernel: Arc<dyn Kernel> = Arc::new(GaussianKernel::new(1.0));
+        KernelModel::zeros(kernel, centers, 2)
+    }
+
+    #[test]
+    fn zero_model_predicts_zero() {
+        let m = toy_model();
+        let x = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let p = m.predict(&x);
+        assert_eq!(p.shape(), (1, 2));
+        assert_eq!(p.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_center_unit_weight() {
+        let kernel: Arc<dyn Kernel> = Arc::new(GaussianKernel::new(1.0));
+        let centers = Matrix::from_rows(&[&[0.0]]);
+        let weights = Matrix::from_rows(&[&[1.0]]);
+        let m = KernelModel::from_weights(kernel.clone(), centers, weights);
+        let x = Matrix::from_rows(&[&[1.0]]);
+        let expect = kernel.eval(&[0.0], &[1.0]);
+        assert!((m.predict(&x)[(0, 0)] - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn blocked_prediction_matches_unblocked() {
+        let mut m = toy_model();
+        // Set some nonzero weights.
+        m.weights_mut().as_mut_slice().copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
+        let x = Matrix::from_fn(10, 2, |i, j| (i as f64) * 0.3 - (j as f64) * 0.1);
+        let a = m.predict_blocked(&x, 3);
+        let b = m.predict_blocked(&x, 100);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn predict_from_block_consistent() {
+        let mut m = toy_model();
+        m.weights_mut()[(1, 0)] = 2.0;
+        let x = Matrix::from_rows(&[&[0.2, 0.4], &[1.5, -0.5]]);
+        let k_block = ep2_kernels::matrix::kernel_cross(m.kernel().as_ref(), &x, m.centers());
+        let a = m.predict_from_kernel_block(&k_block);
+        let b = m.predict(&x);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim mismatch")]
+    fn dim_mismatch_panics() {
+        let m = toy_model();
+        let x = Matrix::zeros(1, 3);
+        let _ = m.predict(&x);
+    }
+}

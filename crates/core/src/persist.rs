@@ -1,0 +1,204 @@
+//! Model persistence: a small versioned binary format for trained
+//! [`KernelModel`]s.
+//!
+//! Training on millions of points is exactly what one does *not* want to
+//! repeat; a released kernel-machine library must round-trip models. The
+//! format stores the kernel (by name + bandwidth), centers, and weights as
+//! little-endian `f64`s behind a magic/version header.
+//!
+//! ```text
+//! "EP2M" | u32 version | u16 name_len | name bytes | f64 bandwidth
+//!        | u64 n | u64 d | u64 l | n·d f64 centers | n·l f64 weights
+//! ```
+
+use std::path::Path;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ep2_kernels::KernelKind;
+use ep2_linalg::Matrix;
+
+use crate::model::KernelModel;
+use crate::CoreError;
+
+const MAGIC: &[u8; 4] = b"EP2M";
+const VERSION: u32 = 1;
+
+fn err(message: impl Into<String>) -> CoreError {
+    CoreError::InvalidConfig {
+        message: message.into(),
+    }
+}
+
+/// Serialises a model to bytes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if the model's kernel is not one of
+/// the named families (a custom `Kernel` impl cannot be round-tripped by
+/// name).
+pub fn to_bytes(model: &KernelModel) -> Result<Bytes, CoreError> {
+    let kernel = model.kernel();
+    let name = kernel.name();
+    if KernelKind::parse(name).is_none() {
+        return Err(err(format!("kernel {name} is not a named family; cannot persist")));
+    }
+    let (n, d, l) = (model.n_centers(), model.dim(), model.n_outputs());
+    let mut buf = BytesMut::with_capacity(4 + 4 + 2 + name.len() + 8 * (3 + n * d + n * l) + 8);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name.as_bytes());
+    buf.put_f64_le(kernel.bandwidth());
+    buf.put_u64_le(n as u64);
+    buf.put_u64_le(d as u64);
+    buf.put_u64_le(l as u64);
+    for &v in model.centers().as_slice() {
+        buf.put_f64_le(v);
+    }
+    for &v in model.weights().as_slice() {
+        buf.put_f64_le(v);
+    }
+    Ok(buf.freeze())
+}
+
+/// Deserialises a model from bytes.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for bad magic, unsupported version,
+/// truncated input, or an unknown kernel name.
+pub fn from_bytes(mut data: &[u8]) -> Result<KernelModel, CoreError> {
+    if data.len() < 8 || &data[..4] != MAGIC {
+        return Err(err("not an EP2M model file (bad magic)"));
+    }
+    data.advance(4);
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(err(format!("unsupported model version {version}")));
+    }
+    if data.remaining() < 2 {
+        return Err(err("truncated model file"));
+    }
+    let name_len = data.get_u16_le() as usize;
+    if data.remaining() < name_len + 8 * 4 {
+        return Err(err("truncated model file"));
+    }
+    let name = std::str::from_utf8(&data[..name_len])
+        .map_err(|_| err("kernel name is not UTF-8"))?
+        .to_string();
+    data.advance(name_len);
+    let bandwidth = data.get_f64_le();
+    let n = data.get_u64_le() as usize;
+    let d = data.get_u64_le() as usize;
+    let l = data.get_u64_le() as usize;
+    let need = 8 * n
+        .checked_mul(d)
+        .and_then(|nd| nd.checked_add(n.checked_mul(l)?))
+        .ok_or_else(|| err("model dimensions overflow"))?;
+    if data.remaining() < need {
+        return Err(err(format!(
+            "truncated model file: need {need} payload bytes, have {}",
+            data.remaining()
+        )));
+    }
+    let kind = KernelKind::parse(&name).ok_or_else(|| err(format!("unknown kernel {name}")))?;
+    if !(bandwidth > 0.0 && bandwidth.is_finite()) {
+        return Err(err(format!("invalid bandwidth {bandwidth}")));
+    }
+    let mut centers = vec![0.0_f64; n * d];
+    for v in &mut centers {
+        *v = data.get_f64_le();
+    }
+    let mut weights = vec![0.0_f64; n * l];
+    for v in &mut weights {
+        *v = data.get_f64_le();
+    }
+    let kernel: Arc<dyn ep2_kernels::Kernel> = kind.with_bandwidth(bandwidth).into();
+    Ok(KernelModel::from_weights(
+        kernel,
+        Matrix::from_vec(n, d, centers),
+        Matrix::from_vec(n, l, weights),
+    ))
+}
+
+/// Saves a model to `path`.
+///
+/// # Errors
+///
+/// Propagates serialisation and I/O failures (I/O errors are wrapped in
+/// [`CoreError::InvalidConfig`] with the path in the message).
+pub fn save(model: &KernelModel, path: impl AsRef<Path>) -> Result<(), CoreError> {
+    let bytes = to_bytes(model)?;
+    std::fs::write(path.as_ref(), &bytes)
+        .map_err(|e| err(format!("writing {}: {e}", path.as_ref().display())))
+}
+
+/// Loads a model from `path`.
+///
+/// # Errors
+///
+/// Propagates deserialisation and I/O failures.
+pub fn load(path: impl AsRef<Path>) -> Result<KernelModel, CoreError> {
+    let data = std::fs::read(path.as_ref())
+        .map_err(|e| err(format!("reading {}: {e}", path.as_ref().display())))?;
+    from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ep2_kernels::LaplacianKernel;
+
+    fn model() -> KernelModel {
+        let kernel: Arc<dyn ep2_kernels::Kernel> = Arc::new(LaplacianKernel::new(2.5));
+        let centers = Matrix::from_fn(7, 3, |i, j| (i * 3 + j) as f64 * 0.1);
+        let weights = Matrix::from_fn(7, 2, |i, j| (i + j) as f64 - 3.0);
+        KernelModel::from_weights(kernel, centers, weights)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let m = model();
+        let bytes = to_bytes(&m).unwrap();
+        let m2 = from_bytes(&bytes).unwrap();
+        assert_eq!(m2.n_centers(), 7);
+        assert_eq!(m2.kernel().name(), "laplacian");
+        assert_eq!(m2.kernel().bandwidth(), 2.5);
+        let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.3);
+        let (p1, p2) = (m.predict(&x), m2.predict(&x));
+        assert_eq!(p1.as_slice(), p2.as_slice());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ep2_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ep2m");
+        let m = model();
+        save(&m, &path).unwrap();
+        let m2 = load(&path).unwrap();
+        assert_eq!(m.weights().as_slice(), m2.weights().as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        assert!(from_bytes(b"NOPE").is_err());
+        let bytes = to_bytes(&model()).unwrap();
+        assert!(from_bytes(&bytes[..bytes.len() - 9]).is_err());
+        assert!(from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = to_bytes(&model()).unwrap().to_vec();
+        bytes[4] = 99;
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load("/definitely/not/a/real/path.ep2m").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+use ep2_linalg::Matrix;
+
+/// A supervised dataset: `n x d` features, integer class labels, and the
+/// `n x l` one-hot regression targets kernel interpolation trains against.
+///
+/// The paper "reduces multiclass labels to multiple binary labels"
+/// (Appendix A): each class becomes one output column and prediction is the
+/// arg-max over columns. [`Dataset::from_labels`] builds that encoding.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name for reports.
+    pub name: String,
+    /// `n x d` feature matrix.
+    pub features: Matrix,
+    /// Integer class label per row (`labels[i] < n_classes`).
+    pub labels: Vec<usize>,
+    /// `n x l` one-hot targets (`l == n_classes`).
+    pub targets: Matrix,
+    /// Number of classes `l`.
+    pub n_classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from features and integer labels, deriving the
+    /// one-hot target matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != features.rows()`, `n_classes == 0`, or any
+    /// label is out of range.
+    pub fn from_labels(
+        name: impl Into<String>,
+        features: Matrix,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(labels.len(), features.rows(), "label count mismatch");
+        assert!(n_classes > 0, "n_classes must be positive");
+        let mut targets = Matrix::zeros(features.rows(), n_classes);
+        for (i, &c) in labels.iter().enumerate() {
+            assert!(c < n_classes, "label {c} out of range at row {i}");
+            targets[(i, c)] = 1.0;
+        }
+        Dataset {
+            name: name.into(),
+            features,
+            labels,
+            targets,
+            n_classes,
+        }
+    }
+
+    /// Number of samples `n`.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Returns the sub-dataset at the given row indices (clones rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features = self.features.select_rows(indices);
+        let labels: Vec<usize> = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset::from_labels(self.name.clone(), features, labels, self.n_classes)
+    }
+
+    /// Splits into `(train, test)` with the first `train_len` rows training —
+    /// rows are expected to be pre-shuffled (the generators emit shuffled
+    /// rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_len > self.len()`.
+    pub fn split_at(&self, train_len: usize) -> (Dataset, Dataset) {
+        assert!(train_len <= self.len(), "train_len exceeds dataset size");
+        let train_idx: Vec<usize> = (0..train_len).collect();
+        let test_idx: Vec<usize> = (train_len..self.len()).collect();
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0], &[0.5, 0.5]]);
+        Dataset::from_labels("toy", x, vec![0, 1, 0], 2)
+    }
+
+    #[test]
+    fn one_hot_targets() {
+        let ds = toy();
+        assert_eq!(ds.targets.shape(), (3, 2));
+        assert_eq!(ds.targets.row(0), &[1.0, 0.0]);
+        assert_eq!(ds.targets.row(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn subset_preserves_labels() {
+        let ds = toy();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.labels, vec![0, 0]);
+        assert_eq!(sub.features.row(0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn split_partitions() {
+        let ds = toy();
+        let (tr, te) = ds.split_at(2);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(te.len(), 1);
+        assert_eq!(te.labels, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let x = Matrix::zeros(1, 1);
+        let _ = Dataset::from_labels("bad", x, vec![5], 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Evaluation metrics: the quantities the paper's tables and figures report.
+
+use ep2_linalg::Matrix;
+
+/// Mean squared error between prediction and target matrices, averaged over
+/// all entries — the paper's Figure-2 stopping criterion is
+/// "train mse < 1e-4".
+///
+/// # Panics
+///
+/// Panics if shapes differ or the matrices are empty.
+pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
+    assert!(!pred.is_empty(), "mse: empty input");
+    let mut acc = 0.0;
+    for (p, t) in pred.as_slice().iter().zip(target.as_slice()) {
+        let d = p - t;
+        acc += d * d;
+    }
+    acc / pred.as_slice().len() as f64
+}
+
+/// Classification error: fraction of rows whose arg-max column differs from
+/// the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != pred.rows()` or `pred` has no rows.
+pub fn classification_error(pred: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), pred.rows(), "classification_error: length mismatch");
+    assert!(pred.rows() > 0, "classification_error: empty input");
+    let mut wrong = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = pred.row(i);
+        let (argmax, _) = ep2_linalg::ops::argmax(row).expect("non-empty row");
+        if argmax != label {
+            wrong += 1;
+        }
+    }
+    wrong as f64 / labels.len() as f64
+}
+
+/// Per-class accuracy breakdown (`accuracies[c]` = accuracy on rows whose
+/// label is `c`; classes never seen map to `f64::NAN`).
+pub fn per_class_accuracy(pred: &Matrix, labels: &[usize], n_classes: usize) -> Vec<f64> {
+    let mut correct = vec![0usize; n_classes];
+    let mut total = vec![0usize; n_classes];
+    for (i, &label) in labels.iter().enumerate() {
+        total[label] += 1;
+        let (argmax, _) = ep2_linalg::ops::argmax(pred.row(i)).expect("non-empty row");
+        if argmax == label {
+            correct[label] += 1;
+        }
+    }
+    (0..n_classes)
+        .map(|c| {
+            if total[c] == 0 {
+                f64::NAN
+            } else {
+                correct[c] as f64 / total[c] as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(mse(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 0.0]]);
+        assert_eq!(mse(&a, &b), 2.5); // (1 + 4) / 2
+    }
+
+    #[test]
+    fn classification_error_counts_argmax() {
+        // Row 0 predicts class 1 (correct), row 1 predicts class 0 (wrong).
+        let pred = Matrix::from_rows(&[&[0.1, 0.9], &[0.8, 0.2]]);
+        let err = classification_error(&pred, &[1, 1]);
+        assert_eq!(err, 0.5);
+    }
+
+    #[test]
+    fn per_class_breakdown() {
+        let pred = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let acc = per_class_accuracy(&pred, &[0, 1, 1], 2);
+        assert_eq!(acc[0], 1.0);
+        assert_eq!(acc[1], 0.5);
+    }
+
+    #[test]
+    fn per_class_unseen_is_nan() {
+        let pred = Matrix::from_rows(&[&[1.0, 0.0, 0.0]]);
+        let acc = per_class_accuracy(&pred, &[0], 3);
+        assert!(acc[2].is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mse_shape_mismatch_panics() {
+        let a = Matrix::zeros(1, 2);
+        let b = Matrix::zeros(2, 1);
+        let _ = mse(&a, &b);
+    }
+}

@@ -1,0 +1,198 @@
+//! The paper's preprocessing pipeline (Appendix A):
+//!
+//! - image datasets (MNIST, CIFAR-10, SVHN): grayscale, then **min-max
+//!   rescale each feature to `[0, 1]`**;
+//! - TIMIT: **z-score** each feature;
+//! - ImageNet: top **PCA components** of convolutional features.
+
+use ep2_linalg::{pca::Pca, LinalgError, Matrix};
+
+/// Per-feature min-max scaler fitted on training data.
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler to the rows of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows.
+    pub fn fit(data: &Matrix) -> Self {
+        assert!(data.rows() > 0, "min-max fit: empty data");
+        let d = data.cols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for i in 0..data.rows() {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+        MinMaxScaler { mins, ranges }
+    }
+
+    /// Maps each feature into `[0, 1]` (training range; test data may exceed
+    /// it slightly, which is harmless for kernels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols()` differs from the fitted dimension.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mins.len(), "min-max: dim mismatch");
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                *v = (*v - self.mins[j]) / self.ranges[j];
+            }
+        }
+        out
+    }
+}
+
+/// Per-feature z-score standardiser fitted on training data.
+#[derive(Debug, Clone)]
+pub struct ZScoreScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl ZScoreScaler {
+    /// Fits means and standard deviations to the rows of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` has no rows.
+    pub fn fit(data: &Matrix) -> Self {
+        assert!(data.rows() > 0, "z-score fit: empty data");
+        let (n, d) = data.shape();
+        let mut means = vec![0.0_f64; d];
+        for i in 0..n {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        let mut vars = vec![0.0_f64; d];
+        for i in 0..n {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                let dlt = v - means[j];
+                vars[j] += dlt * dlt;
+            }
+        }
+        let stds = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n as f64).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        ZScoreScaler { means, stds }
+    }
+
+    /// Standardises each feature to zero mean / unit variance (training
+    /// statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.cols()` differs from the fitted dimension.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.means.len(), "z-score: dim mismatch");
+        let mut out = data.clone();
+        for i in 0..out.rows() {
+            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                *v = (*v - self.means[j]) / self.stds[j];
+            }
+        }
+        out
+    }
+}
+
+/// Reduces `data` to its top `k` PCA components (fit and transform in one
+/// step — the ImageNet-features pipeline).
+///
+/// # Errors
+///
+/// Propagates [`LinalgError`] from the PCA fit.
+pub fn pca_reduce(data: &Matrix, k: usize) -> Result<(Matrix, Pca), LinalgError> {
+    let pca = Pca::fit(data, k)?;
+    let reduced = pca.transform(data);
+    Ok((reduced, pca))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_maps_to_unit_interval() {
+        let data = Matrix::from_rows(&[&[0.0, 10.0], &[5.0, 20.0], &[10.0, 15.0]]);
+        let sc = MinMaxScaler::fit(&data);
+        let t = sc.transform(&data);
+        for i in 0..3 {
+            for &v in t.row(i) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(t[(0, 0)], 0.0);
+        assert_eq!(t[(2, 0)], 1.0);
+        assert_eq!(t[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn min_max_constant_feature_safe() {
+        let data = Matrix::from_rows(&[&[3.0], &[3.0]]);
+        let sc = MinMaxScaler::fit(&data);
+        let t = sc.transform(&data);
+        assert_eq!(t[(0, 0)], 0.0); // (3-3)/1
+    }
+
+    #[test]
+    fn zscore_standardises() {
+        let data = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let sc = ZScoreScaler::fit(&data);
+        let t = sc.transform(&data);
+        let col = t.col(0);
+        let mean: f64 = col.iter().sum::<f64>() / 4.0;
+        let var: f64 = col.iter().map(|v| v * v).sum::<f64>() / 4.0 - mean * mean;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_feature_safe() {
+        let data = Matrix::from_rows(&[&[5.0], &[5.0]]);
+        let t = ZScoreScaler::fit(&data).transform(&data);
+        assert_eq!(t[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn pca_reduce_shapes() {
+        let data = Matrix::from_fn(30, 8, |i, j| ((i * j) as f64).sin());
+        let (reduced, pca) = pca_reduce(&data, 3).unwrap();
+        assert_eq!(reduced.shape(), (30, 3));
+        assert_eq!(pca.n_components(), 3);
+    }
+
+    #[test]
+    fn scalers_apply_to_new_data_with_train_stats() {
+        let train = Matrix::from_rows(&[&[0.0], &[10.0]]);
+        let test = Matrix::from_rows(&[&[20.0]]);
+        let sc = MinMaxScaler::fit(&train);
+        // Out-of-range test value maps past 1.0 — by design.
+        assert_eq!(sc.transform(&test)[(0, 0)], 2.0);
+    }
+}

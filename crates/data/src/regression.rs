@@ -1,0 +1,246 @@
+//! Regression datasets.
+//!
+//! Kernel interpolation is loss-agnostic (Remark 2.1: the interpolant is
+//! the square-loss minimiser), so the same EigenPro 2.0 machinery trains
+//! regression targets directly. This module provides a synthetic smooth
+//! regression task on the same latent-manifold substrate as the
+//! classification clones, plus the regression metrics.
+
+use ep2_linalg::{ops, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A regression dataset: features plus continuous targets.
+#[derive(Debug, Clone)]
+pub struct RegressionDataset {
+    /// Dataset name.
+    pub name: String,
+    /// `n x d` features.
+    pub features: Matrix,
+    /// `n x t` continuous targets.
+    pub targets: Matrix,
+}
+
+impl RegressionDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Target dimension.
+    pub fn n_targets(&self) -> usize {
+        self.targets.cols()
+    }
+
+    /// Splits into `(train, test)` at `train_len` (rows are emitted
+    /// shuffled by the generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_len > self.len()`.
+    pub fn split_at(&self, train_len: usize) -> (RegressionDataset, RegressionDataset) {
+        assert!(train_len <= self.len());
+        let take = |lo: usize, hi: usize| RegressionDataset {
+            name: self.name.clone(),
+            features: self.features.submatrix(lo, 0, hi - lo, self.dim()),
+            targets: self.targets.submatrix(lo, 0, hi - lo, self.n_targets()),
+        };
+        (take(0, train_len), take(train_len, self.len()))
+    }
+}
+
+/// Parameters for the smooth-function regression generator:
+/// `y_k(x) = Σ_j a_jk sin(w_j · latent + b_j) + ε`.
+#[derive(Debug, Clone)]
+pub struct RegressionSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of samples.
+    pub n: usize,
+    /// Ambient feature dimension.
+    pub d: usize,
+    /// Latent manifold dimension.
+    pub latent_dim: usize,
+    /// Number of target outputs `t`.
+    pub outputs: usize,
+    /// Number of random sinusoidal components per output.
+    pub components: usize,
+    /// Observation noise standard deviation.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RegressionSpec {
+    /// A quick default: scalar target, 8-d manifold in `d` dimensions.
+    pub fn quick(name: impl Into<String>, n: usize, d: usize, seed: u64) -> Self {
+        RegressionSpec {
+            name: name.into(),
+            n,
+            d,
+            latent_dim: 8.min(d),
+            outputs: 1,
+            components: 6,
+            noise: 0.05,
+            seed,
+        }
+    }
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a smooth regression dataset (deterministic given the seed).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `outputs == 0`, or `latent_dim ∉ 1..=d`.
+pub fn generate(spec: &RegressionSpec) -> RegressionDataset {
+    assert!(spec.n > 0 && spec.outputs > 0);
+    assert!(spec.latent_dim > 0 && spec.latent_dim <= spec.d);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let r = spec.latent_dim;
+
+    let scale = 1.0 / (r as f64).sqrt();
+    let embed = Matrix::from_fn(r, spec.d, |_, _| gauss(&mut rng) * scale);
+    // Sinusoid parameters per (component, output); frequencies are scaled
+    // so the phase w·latent has unit variance — the target is smooth at the
+    // same lengthscale as the data, hence learnable by an RBF kernel.
+    let w = Matrix::from_fn(spec.components, r, |_, _| gauss(&mut rng) * scale);
+    let b: Vec<f64> = (0..spec.components)
+        .map(|_| rng.gen::<f64>() * std::f64::consts::TAU)
+        .collect();
+    let a = Matrix::from_fn(spec.components, spec.outputs, |_, _| gauss(&mut rng));
+
+    let mut features = Matrix::zeros(spec.n, spec.d);
+    let mut targets = Matrix::zeros(spec.n, spec.outputs);
+    let mut latent = vec![0.0_f64; r];
+    for i in 0..spec.n {
+        for l in latent.iter_mut() {
+            *l = gauss(&mut rng);
+        }
+        // Features: latent · E.
+        for (j, x) in features.row_mut(i).iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (p, &lv) in latent.iter().enumerate() {
+                acc += lv * embed[(p, j)];
+            }
+            *x = acc;
+        }
+        // Targets: mixture of sinusoids of the latent + noise.
+        for c in 0..spec.components {
+            let phase = ops::dot(w.row(c), &latent) + b[c];
+            let s = phase.sin();
+            for k in 0..spec.outputs {
+                targets[(i, k)] += a[(c, k)] * s / (spec.components as f64).sqrt();
+            }
+        }
+        for k in 0..spec.outputs {
+            targets[(i, k)] += spec.noise * gauss(&mut rng);
+        }
+    }
+    RegressionDataset {
+        name: spec.name.clone(),
+        features,
+        targets,
+    }
+}
+
+/// Root-mean-squared error over all target entries.
+///
+/// # Panics
+///
+/// Panics if shapes differ or inputs are empty.
+pub fn rmse(pred: &Matrix, target: &Matrix) -> f64 {
+    crate::metrics::mse(pred, target).sqrt()
+}
+
+/// Coefficient of determination `R²` (averaged over target columns).
+///
+/// # Panics
+///
+/// Panics if shapes differ or inputs are empty.
+pub fn r2(pred: &Matrix, target: &Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape());
+    assert!(pred.rows() > 0);
+    let t = target.cols();
+    let mut total = 0.0;
+    for k in 0..t {
+        let col_t = target.col(k);
+        let col_p = pred.col(k);
+        let mean = ops::mean(&col_t);
+        let ss_res: f64 = col_t
+            .iter()
+            .zip(&col_p)
+            .map(|(y, f)| (y - f) * (y - f))
+            .sum();
+        let ss_tot: f64 = col_t.iter().map(|y| (y - mean) * (y - mean)).sum();
+        total += if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    }
+    total / t as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let spec = RegressionSpec::quick("r", 80, 12, 3);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.features.as_slice(), b.features.as_slice());
+        assert_eq!(a.targets.as_slice(), b.targets.as_slice());
+        assert_eq!(a.features.shape(), (80, 12));
+        assert_eq!(a.targets.shape(), (80, 1));
+    }
+
+    #[test]
+    fn targets_have_signal_above_noise() {
+        let spec = RegressionSpec {
+            noise: 0.01,
+            ..RegressionSpec::quick("r", 400, 10, 5)
+        };
+        let ds = generate(&spec);
+        let var = ep2_linalg::ops::variance(&ds.targets.col(0));
+        assert!(var > 0.05, "target variance {var} too small — no signal");
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let ds = generate(&RegressionSpec::quick("r", 50, 6, 9));
+        let (tr, te) = ds.split_at(40);
+        assert_eq!(tr.len(), 40);
+        assert_eq!(te.len(), 10);
+        assert_eq!(tr.features.row(0), ds.features.row(0));
+        assert_eq!(te.features.row(0), ds.features.row(40));
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_predictor() {
+        let y = Matrix::from_fn(20, 1, |i, _| i as f64);
+        assert!((r2(&y, &y) - 1.0).abs() < 1e-12);
+        let mean = Matrix::filled(20, 1, 9.5);
+        assert!(r2(&mean, &y).abs() < 1e-12); // mean predictor → R² = 0
+    }
+
+    #[test]
+    fn rmse_is_sqrt_mse() {
+        let a = Matrix::from_rows(&[&[2.0]]);
+        let b = Matrix::from_rows(&[&[0.0]]);
+        assert!((rmse(&a, &b) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Step 1 of the main algorithm: batch sizes that saturate the resource.
+//!
+//! The paper defines, for training data with `n` points, `d` features and
+//! `l` labels:
+//!
+//! - `m^C_G`: the batch fully utilising parallelism, `(d + l) · m^C_G · n ≈ C_G`;
+//! - `m^S_G`: the batch hitting the memory ceiling, `(d + l + m^S_G) · n ≈ S_G`;
+//! - `m^max_G = min(m^C_G, m^S_G)`.
+
+use crate::ResourceSpec;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of the Step-1 calculation, including both intermediate batch
+/// sizes (exposed per C-INTERMEDIATE so harnesses can report them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPlan {
+    /// `m^C_G`: batch saturating the parallel capacity.
+    pub capacity_batch: usize,
+    /// `m^S_G`: largest batch fitting in device memory (0 when even `m = 1`
+    /// does not fit).
+    pub memory_batch: usize,
+    /// `m^max_G = min(m^C_G, m^S_G)`, clamped to `[1, n]`.
+    pub batch: usize,
+    /// `true` when the memory bound (not parallelism) is the binding
+    /// constraint.
+    pub memory_bound: bool,
+}
+
+/// `m^C_G` from `(d + l) · m · n ≈ C_G`, at least 1.
+pub fn batch_for_capacity(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> usize {
+    let denom = ((d + l) as f64) * (n as f64);
+    if denom <= 0.0 {
+        return 1;
+    }
+    (spec.parallel_capacity / denom).floor().max(1.0) as usize
+}
+
+/// `m^S_G` from `(d + l + m) · n ≈ S_G`; returns 0 when the dataset itself
+/// (features + weights) does not fit in device memory.
+pub fn batch_for_memory(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let per_point = spec.memory_floats / (n as f64) - (d + l) as f64;
+    if per_point < 1.0 {
+        0
+    } else {
+        per_point.floor() as usize
+    }
+}
+
+/// The full Step-1 plan: `m^max_G = min(m^C_G, m^S_G)` clamped to `[1, n]`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `d + l == 0`, or if the problem cannot fit on the
+/// device at all (`m^S_G == 0`) — a configuration the paper's workflow never
+/// reaches because datasets are subsampled to fit.
+pub fn max_batch(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> BatchPlan {
+    assert!(n > 0, "max_batch: n must be positive");
+    assert!(d + l > 0, "max_batch: d + l must be positive");
+    let capacity_batch = batch_for_capacity(spec, n, d, l);
+    let memory_batch = batch_for_memory(spec, n, d, l);
+    assert!(
+        memory_batch > 0,
+        "problem (n={n}, d={d}, l={l}) does not fit in device memory {:.3e}",
+        spec.memory_floats
+    );
+    let batch = capacity_batch.min(memory_batch).clamp(1, n);
+    BatchPlan {
+        capacity_batch,
+        memory_batch,
+        batch,
+        memory_bound: memory_batch < capacity_batch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_xp_mnist_scale_matches_table4() {
+        // Table 4: MNIST n = 1e6, d = 784, l = 10 gives m = 735 on Titan Xp.
+        let plan = max_batch(&ResourceSpec::titan_xp(), 1_000_000, 784, 10);
+        assert!(
+            (700..=770).contains(&plan.batch),
+            "expected ~735, got {}",
+            plan.batch
+        );
+        assert!(!plan.memory_bound, "MNIST at 1e6 is capacity-bound");
+    }
+
+    #[test]
+    fn capacity_batch_shrinks_with_n() {
+        let spec = ResourceSpec::titan_xp();
+        let m_small = batch_for_capacity(&spec, 10_000, 784, 10);
+        let m_big = batch_for_capacity(&spec, 1_000_000, 784, 10);
+        assert!(m_small > m_big);
+    }
+
+    #[test]
+    fn memory_batch_zero_when_dataset_too_big() {
+        let spec = ResourceSpec::new("tiny", 1e9, 1e4, 1e9, 0.0);
+        assert_eq!(batch_for_memory(&spec, 1_000, 500, 10), 0);
+    }
+
+    #[test]
+    fn memory_bound_flag() {
+        // Device with huge capacity but tiny memory: memory is binding.
+        let spec = ResourceSpec::new("mem-starved", 1e15, 2e6, 1e12, 0.0);
+        let plan = max_batch(&spec, 1_000, 100, 10, );
+        assert!(plan.memory_bound);
+        assert_eq!(plan.batch, plan.memory_batch.min(1_000));
+    }
+
+    #[test]
+    fn batch_clamped_to_n() {
+        // Tiny problem on a big device: m^max can't exceed n.
+        let plan = max_batch(&ResourceSpec::titan_xp(), 50, 10, 2);
+        assert_eq!(plan.batch, 50);
+    }
+
+    #[test]
+    fn batch_at_least_one() {
+        // Enormous n forces m^C below 1; clamp to 1.
+        let spec = ResourceSpec::new("small-cap", 1e6, 1e12, 1e9, 0.0);
+        let plan = max_batch(&spec, 10_000_000, 784, 10);
+        assert_eq!(plan.batch, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn unfittable_problem_panics() {
+        let spec = ResourceSpec::new("tiny", 1e9, 1e4, 1e9, 0.0);
+        let _ = max_batch(&spec, 1_000, 500, 10);
+    }
+}

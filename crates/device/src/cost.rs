@@ -1,0 +1,140 @@
+//! Table-1 cost formulas: computation and memory per iteration.
+//!
+//! | Method | Computation | Memory |
+//! |---|---|---|
+//! | Improved EigenPro | `s·m·q + n·m·(d+l)` | `s·q + n·(m+d+l)` |
+//! | Original EigenPro | `n·m·q + n·m·(d+l)` | `n·q + n·(m+d+l)` |
+//! | SGD               | `n·m·(d+l)`         | `n·(m+d+l)` |
+//!
+//! The bolded (overhead) terms in the paper are the first summands; the
+//! improved iteration's overhead depends on the fixed block size `s` instead
+//! of the data size `n`, which is the whole point of Section 4.
+
+use serde::{Deserialize, Serialize};
+
+/// Problem-shape parameters entering the Table-1 formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProblemShape {
+    /// Training set size `n`.
+    pub n: usize,
+    /// Mini-batch size `m`.
+    pub m: usize,
+    /// Feature dimension `d`.
+    pub d: usize,
+    /// Number of labels `l`.
+    pub l: usize,
+    /// Fixed coordinate block (Nyström subsample) size `s`.
+    pub s: usize,
+    /// EigenPro spectral truncation level `q`.
+    pub q: usize,
+}
+
+/// Computation (operations) and memory (matrix-element slots) for one
+/// iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationCost {
+    /// Operation count per iteration.
+    pub compute_ops: f64,
+    /// Resident memory in element slots.
+    pub memory_slots: f64,
+}
+
+impl IterationCost {
+    /// Overhead of `self` relative to `base`, as
+    /// `(compute ratio - 1, memory ratio - 1)`.
+    pub fn overhead_over(&self, base: &IterationCost) -> (f64, f64) {
+        (
+            self.compute_ops / base.compute_ops - 1.0,
+            self.memory_slots / base.memory_slots - 1.0,
+        )
+    }
+}
+
+/// Cost of one standard SGD iteration (Table 1, row 3).
+pub fn sgd(shape: &ProblemShape) -> IterationCost {
+    let (n, m, d, l) = (shape.n as f64, shape.m as f64, shape.d as f64, shape.l as f64);
+    IterationCost {
+        compute_ops: n * m * (d + l),
+        memory_slots: n * (m + d + l),
+    }
+}
+
+/// Cost of one improved (Nyström) EigenPro iteration (Table 1, row 1).
+pub fn improved_eigenpro(shape: &ProblemShape) -> IterationCost {
+    let base = sgd(shape);
+    let (s, m, q) = (shape.s as f64, shape.m as f64, shape.q as f64);
+    IterationCost {
+        compute_ops: s * m * q + base.compute_ops,
+        memory_slots: s * q + base.memory_slots,
+    }
+}
+
+/// Cost of one original EigenPro iteration (Table 1, row 2): the
+/// preconditioner lives on all `n` centers.
+pub fn original_eigenpro(shape: &ProblemShape) -> IterationCost {
+    let base = sgd(shape);
+    let (n, m, q) = (shape.n as f64, shape.m as f64, shape.q as f64);
+    IterationCost {
+        compute_ops: n * m * q + base.compute_ops,
+        memory_slots: n * q + base.memory_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's "realistic example": n = 1e6, s = 1e4, d and m ~ 1e3,
+    /// q and l ~ 1e2 gives improved-EigenPro overhead below 1% in both
+    /// computation and memory.
+    #[test]
+    fn realistic_example_under_one_percent() {
+        let shape = ProblemShape {
+            n: 1_000_000,
+            m: 1_000,
+            d: 1_000,
+            l: 100,
+            s: 10_000,
+            q: 100,
+        };
+        let (comp, mem) = improved_eigenpro(&shape).overhead_over(&sgd(&shape));
+        assert!(comp < 0.01, "compute overhead {comp}");
+        assert!(mem < 0.01, "memory overhead {mem}");
+    }
+
+    #[test]
+    fn original_overhead_scales_with_n() {
+        let small = ProblemShape { n: 10_000, m: 100, d: 100, l: 10, s: 2_000, q: 50 };
+        let big = ProblemShape { n: 1_000_000, ..small };
+        // Original EigenPro's *memory* overhead ratio q/(m+d+l) is constant,
+        // but its absolute overhead grows linearly with n while improved
+        // EigenPro's absolute overhead stays fixed.
+        let orig_small = original_eigenpro(&small);
+        let orig_big = original_eigenpro(&big);
+        let sgd_small = sgd(&small);
+        let sgd_big = sgd(&big);
+        let abs_small = orig_small.memory_slots - sgd_small.memory_slots;
+        let abs_big = orig_big.memory_slots - sgd_big.memory_slots;
+        assert!((abs_big / abs_small - 100.0).abs() < 1e-9);
+        let imp_small = improved_eigenpro(&small).memory_slots - sgd_small.memory_slots;
+        let imp_big = improved_eigenpro(&big).memory_slots - sgd_big.memory_slots;
+        assert_eq!(imp_small, imp_big);
+    }
+
+    #[test]
+    fn improved_cheaper_than_original_when_s_below_n() {
+        let shape = ProblemShape { n: 100_000, m: 500, d: 400, l: 10, s: 5_000, q: 80 };
+        let imp = improved_eigenpro(&shape);
+        let orig = original_eigenpro(&shape);
+        assert!(imp.compute_ops < orig.compute_ops);
+        assert!(imp.memory_slots < orig.memory_slots);
+    }
+
+    #[test]
+    fn sgd_formulas_exact() {
+        let shape = ProblemShape { n: 10, m: 2, d: 3, l: 1, s: 5, q: 2 };
+        let c = sgd(&shape);
+        assert_eq!(c.compute_ops, 10.0 * 2.0 * 4.0);
+        assert_eq!(c.memory_slots, 10.0 * (2.0 + 3.0 + 1.0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Bandwidth selection helpers.
+//!
+//! The paper selects σ by cross-validation on a small subsample (Appendix
+//! B); the *median heuristic* is the standard starting point for that
+//! search and what the harness uses to seed its σ grid.
+
+use ep2_linalg::{ops, Matrix};
+
+/// Median pairwise distance over (at most) the first `max_points` rows of
+/// `x` — the classic bandwidth initialiser.
+///
+/// Returns 1.0 for degenerate inputs (fewer than two points or all points
+/// identical) so downstream kernels stay constructible.
+pub fn median_heuristic(x: &Matrix, max_points: usize) -> f64 {
+    let n = x.rows().min(max_points.max(2));
+    if n < 2 {
+        return 1.0;
+    }
+    let mut dists = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            dists.push(ops::sq_dist(x.row(i), x.row(j)).sqrt());
+        }
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let med = dists[dists.len() / 2];
+    if med > 0.0 {
+        med
+    } else {
+        1.0
+    }
+}
+
+/// A geometric grid of candidate bandwidths centred on `center` spanning
+/// `[center / span, center * span]` with `steps` points — the σ grid the
+/// Table-4 harness cross-validates over.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`, `center <= 0` or `span < 1`.
+pub fn bandwidth_grid(center: f64, span: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0, "steps must be positive");
+    assert!(center > 0.0, "center must be positive");
+    assert!(span >= 1.0, "span must be >= 1");
+    if steps == 1 {
+        return vec![center];
+    }
+    let lo = (center / span).ln();
+    let hi = (center * span).ln();
+    (0..steps)
+        .map(|i| (lo + (hi - lo) * i as f64 / (steps - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_unit_square_corners() {
+        // Distances among the 4 unit-square corners: {1,1,1,1,√2,√2};
+        // sorted index 3 (len 6 / 2) is 1.0... values sorted:
+        // [1,1,1,1,1.414,1.414] → element 3 = 1.0.
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        assert!((median_heuristic(&x, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_one() {
+        let single = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(median_heuristic(&single, 10), 1.0);
+        let identical = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0]]);
+        assert_eq!(median_heuristic(&identical, 10), 1.0);
+    }
+
+    #[test]
+    fn respects_max_points() {
+        // Two far clusters; restricting to the first 2 points (same cluster)
+        // gives a much smaller bandwidth than using all.
+        let x = Matrix::from_rows(&[&[0.0], &[0.1], &[100.0], &[100.1]]);
+        let small = median_heuristic(&x, 2);
+        let full = median_heuristic(&x, 4);
+        assert!(small < 1.0);
+        assert!(full > 10.0);
+    }
+
+    #[test]
+    fn grid_is_geometric_and_centred() {
+        let g = bandwidth_grid(4.0, 4.0, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 1.0).abs() < 1e-12);
+        assert!((g[2] - 4.0).abs() < 1e-12);
+        assert!((g[4] - 16.0).abs() < 1e-12);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn grid_single_step() {
+        assert_eq!(bandwidth_grid(3.0, 10.0, 1), vec![3.0]);
+    }
+}

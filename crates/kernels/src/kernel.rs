@@ -1,0 +1,334 @@
+use std::fmt;
+
+use ep2_linalg::ops;
+
+/// A radial positive-definite kernel `k(x, z) = g(‖x − z‖²)` with
+/// `k(x, x) = 1`.
+///
+/// The trait exposes the radial profile [`Kernel::of_sq_dist`] so kernel
+/// matrices can be assembled from a squared-distance matrix computed with one
+/// GEMM — the computation pattern whose cost the device simulator models.
+pub trait Kernel: Send + Sync + fmt::Debug {
+    /// Evaluates the radial profile at squared distance `d2 ≥ 0`.
+    fn of_sq_dist(&self, d2: f64) -> f64;
+
+    /// Kernel name for reports ("gaussian", "laplacian", ...).
+    fn name(&self) -> &str;
+
+    /// Bandwidth parameter σ.
+    fn bandwidth(&self) -> f64;
+
+    /// Evaluates `k(x, z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != z.len()`.
+    fn eval(&self, x: &[f64], z: &[f64]) -> f64 {
+        self.of_sq_dist(ops::sq_dist(x, z))
+    }
+}
+
+/// Which kernel family to use — the choice the paper leaves to the user
+/// ("little tuning beyond selecting the kernel and the kernel parameter").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Gaussian `exp(−‖x−z‖² / 2σ²)`.
+    Gaussian,
+    /// Laplacian `exp(−‖x−z‖ / σ)` — the paper's Section 5.5 recommends it.
+    Laplacian,
+    /// Cauchy `1 / (1 + ‖x−z‖²/σ²)`.
+    Cauchy,
+    /// Matérn-3/2 `(1 + √3 r/σ) exp(−√3 r/σ)` — between Laplacian and
+    /// Gaussian smoothness.
+    Matern32,
+    /// Matérn-5/2 `(1 + √5 r/σ + 5r²/3σ²) exp(−√5 r/σ)`.
+    Matern52,
+    /// Rational quadratic `(1 + ‖x−z‖²/(2ασ²))^{−α}` with `α = 1` —
+    /// a scale mixture of Gaussians with heavier tails.
+    RationalQuadratic,
+}
+
+impl KernelKind {
+    /// All kernel families (for grid sweeps).
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::Gaussian,
+        KernelKind::Laplacian,
+        KernelKind::Cauchy,
+        KernelKind::Matern32,
+        KernelKind::Matern52,
+        KernelKind::RationalQuadratic,
+    ];
+
+    /// Constructs the kernel with bandwidth `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    pub fn with_bandwidth(self, sigma: f64) -> Box<dyn Kernel> {
+        match self {
+            KernelKind::Gaussian => Box::new(GaussianKernel::new(sigma)),
+            KernelKind::Laplacian => Box::new(LaplacianKernel::new(sigma)),
+            KernelKind::Cauchy => Box::new(CauchyKernel::new(sigma)),
+            KernelKind::Matern32 => Box::new(Matern32Kernel::new(sigma)),
+            KernelKind::Matern52 => Box::new(Matern52Kernel::new(sigma)),
+            KernelKind::RationalQuadratic => Box::new(RationalQuadraticKernel::new(sigma)),
+        }
+    }
+
+    /// Parses a kernel name as accepted by the CLI and harnesses
+    /// (`"gaussian"`, `"laplacian"`, `"cauchy"`, `"matern32"`,
+    /// `"matern52"`, `"rq"`); case-insensitive.
+    pub fn parse(name: &str) -> Option<KernelKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "gaussian" | "rbf" => Some(KernelKind::Gaussian),
+            "laplacian" | "laplace" | "exponential" => Some(KernelKind::Laplacian),
+            "cauchy" => Some(KernelKind::Cauchy),
+            "matern32" | "matern-3/2" => Some(KernelKind::Matern32),
+            "matern52" | "matern-5/2" => Some(KernelKind::Matern52),
+            "rq" | "rational-quadratic" => Some(KernelKind::RationalQuadratic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            KernelKind::Gaussian => "Gaussian",
+            KernelKind::Laplacian => "Laplacian",
+            KernelKind::Cauchy => "Cauchy",
+            KernelKind::Matern32 => "Matern-3/2",
+            KernelKind::Matern52 => "Matern-5/2",
+            KernelKind::RationalQuadratic => "RationalQuadratic",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! radial_kernel {
+    ($(#[$doc:meta])* $name:ident, $label:literal, |$d2:ident, $sigma:ident| $body:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct $name {
+            sigma: f64,
+        }
+
+        impl $name {
+            /// Creates the kernel with bandwidth `sigma`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `sigma` is not positive and finite.
+            pub fn new(sigma: f64) -> Self {
+                assert!(
+                    sigma > 0.0 && sigma.is_finite(),
+                    concat!(stringify!($name), ": bandwidth must be positive")
+                );
+                $name { sigma }
+            }
+        }
+
+        impl Kernel for $name {
+            #[inline]
+            fn of_sq_dist(&self, $d2: f64) -> f64 {
+                debug_assert!($d2 >= -1e-9, "negative squared distance {}", $d2);
+                let $d2 = $d2.max(0.0);
+                let $sigma = self.sigma;
+                $body
+            }
+
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn bandwidth(&self) -> f64 {
+                self.sigma
+            }
+        }
+    };
+}
+
+radial_kernel!(
+    /// Gaussian (RBF) kernel `k(x, z) = exp(−‖x−z‖² / 2σ²)`.
+    GaussianKernel,
+    "gaussian",
+    |d2, sigma| (-d2 / (2.0 * sigma * sigma)).exp()
+);
+
+radial_kernel!(
+    /// Laplacian (exponential) kernel `k(x, z) = exp(−‖x−z‖ / σ)`.
+    ///
+    /// Section 5.5 of the paper argues for this kernel: fewer training
+    /// epochs, larger critical batch `m*`, and robustness to the bandwidth.
+    LaplacianKernel,
+    "laplacian",
+    |d2, sigma| (-d2.sqrt() / sigma).exp()
+);
+
+radial_kernel!(
+    /// Cauchy kernel `k(x, z) = 1 / (1 + ‖x−z‖²/σ²)`.
+    CauchyKernel,
+    "cauchy",
+    |d2, sigma| 1.0 / (1.0 + d2 / (sigma * sigma))
+);
+
+radial_kernel!(
+    /// Matérn-3/2 kernel `k(x, z) = (1 + √3 r/σ) exp(−√3 r/σ)` — once
+    /// differentiable sample paths, between Laplacian and Gaussian.
+    Matern32Kernel,
+    "matern32",
+    |d2, sigma| {
+        let t = 3.0_f64.sqrt() * d2.sqrt() / sigma;
+        (1.0 + t) * (-t).exp()
+    }
+);
+
+radial_kernel!(
+    /// Matérn-5/2 kernel `k(x, z) = (1 + √5 r/σ + 5r²/3σ²) exp(−√5 r/σ)`.
+    Matern52Kernel,
+    "matern52",
+    |d2, sigma| {
+        let r = d2.sqrt();
+        let t = 5.0_f64.sqrt() * r / sigma;
+        (1.0 + t + 5.0 * d2 / (3.0 * sigma * sigma)) * (-t).exp()
+    }
+);
+
+radial_kernel!(
+    /// Rational-quadratic kernel `k(x, z) = (1 + ‖x−z‖²/(2σ²))^{-1}`
+    /// (the `α = 1` member of the RQ family — a Gaussian scale mixture).
+    RationalQuadraticKernel,
+    "rational-quadratic",
+    |d2, sigma| 1.0 / (1.0 + d2 / (2.0 * sigma * sigma))
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_diagonal() {
+        let x = [1.0, -2.0, 3.0];
+        for kind in KernelKind::ALL {
+            let k = kind.with_bandwidth(2.0);
+            assert!((k.eval(&x, &x) - 1.0).abs() < 1e-15, "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn all_kernels_monotone_and_bounded() {
+        for kind in KernelKind::ALL {
+            let k = kind.with_bandwidth(1.5);
+            let mut prev = k.of_sq_dist(0.0);
+            assert!((prev - 1.0).abs() < 1e-15);
+            for i in 1..30 {
+                let cur = k.of_sq_dist(i as f64 * 0.4);
+                assert!(cur < prev, "{kind} not strictly decreasing");
+                assert!(cur > 0.0, "{kind} must stay positive");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn matern_between_laplacian_and_gaussian() {
+        // At moderate distance, Matérn-3/2 decays faster than Laplacian but
+        // slower than Gaussian (for matched σ and r > σ).
+        let (g, l, m) = (
+            GaussianKernel::new(1.0),
+            LaplacianKernel::new(1.0),
+            Matern32Kernel::new(1.0),
+        );
+        let d2 = 9.0; // r = 3σ
+        assert!(g.of_sq_dist(d2) < m.of_sq_dist(d2));
+        assert!(m.of_sq_dist(d2) < l.of_sq_dist(d2));
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(KernelKind::parse("RBF"), Some(KernelKind::Gaussian));
+        assert_eq!(KernelKind::parse("laplace"), Some(KernelKind::Laplacian));
+        assert_eq!(KernelKind::parse("matern52"), Some(KernelKind::Matern52));
+        assert_eq!(KernelKind::parse("rq"), Some(KernelKind::RationalQuadratic));
+        assert_eq!(KernelKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn matern52_known_limits() {
+        let k = Matern52Kernel::new(2.0);
+        // Smooth at zero; value drops below Matérn-3/2 beyond a few σ.
+        let k32 = Matern32Kernel::new(2.0);
+        assert!(k.of_sq_dist(100.0) < k32.of_sq_dist(100.0));
+    }
+
+    #[test]
+    fn rq_heavier_tail_than_gaussian() {
+        let rq = RationalQuadraticKernel::new(1.0);
+        let g = GaussianKernel::new(1.0);
+        assert!(rq.of_sq_dist(25.0) > g.of_sq_dist(25.0));
+    }
+
+    #[test]
+    fn gaussian_known_value() {
+        let k = GaussianKernel::new(1.0);
+        // ‖x−z‖² = 2 → exp(−1).
+        assert!((k.eval(&[0.0, 0.0], &[1.0, 1.0]) - (-1.0_f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn laplacian_known_value() {
+        let k = LaplacianKernel::new(2.0);
+        // ‖x−z‖ = 3 → exp(−1.5).
+        assert!((k.eval(&[0.0], &[3.0]) - (-1.5_f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cauchy_known_value() {
+        let k = CauchyKernel::new(1.0);
+        assert!((k.eval(&[0.0], &[1.0]) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetry_and_bounds() {
+        let x = [0.3, -1.2];
+        let z = [2.0, 0.7];
+        for kind in [KernelKind::Gaussian, KernelKind::Laplacian, KernelKind::Cauchy] {
+            let k = kind.with_bandwidth(1.5);
+            let a = k.eval(&x, &z);
+            let b = k.eval(&z, &x);
+            assert_eq!(a, b, "{kind} not symmetric");
+            assert!(a > 0.0 && a <= 1.0, "{kind} out of (0,1]");
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_distance() {
+        for kind in [KernelKind::Gaussian, KernelKind::Laplacian, KernelKind::Cauchy] {
+            let k = kind.with_bandwidth(1.0);
+            let mut prev = k.of_sq_dist(0.0);
+            for i in 1..20 {
+                let cur = k.of_sq_dist(i as f64 * 0.5);
+                assert!(cur < prev, "{kind} not decreasing");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn wider_bandwidth_is_flatter() {
+        let narrow = GaussianKernel::new(1.0);
+        let wide = GaussianKernel::new(10.0);
+        assert!(wide.of_sq_dist(4.0) > narrow.of_sq_dist(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = GaussianKernel::new(0.0);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(KernelKind::Laplacian.to_string(), "Laplacian");
+    }
+}

@@ -1,0 +1,37 @@
+//! # ep2-kernels — kernel functions and kernel-matrix assembly
+//!
+//! Kernel machines construct predictors `f(x) = Σ_i α_i k(x, x_i)`. This
+//! crate supplies the positive-definite kernels the paper evaluates
+//! (Gaussian, Laplacian, Cauchy — all *radial*, i.e. functions of
+//! `‖x − z‖`), plus fast blocked assembly of kernel matrices:
+//!
+//! - [`Kernel`]: the radial-kernel trait (`k(x, z) = g(‖x − z‖²)`).
+//! - [`GaussianKernel`], [`LaplacianKernel`], [`CauchyKernel`].
+//! - [`matrix::kernel_matrix`] / [`matrix::kernel_cross`]: multi-threaded
+//!   assembly via the `‖x‖² + ‖z‖² − 2 x·z` GEMM trick — the exact
+//!   computation a GPU would run, so operation counts map 1:1 onto the
+//!   device model's cost formulas.
+//! - [`bandwidth::median_heuristic`]: the standard bandwidth initialiser
+//!   used before cross-validating σ.
+//!
+//! All kernels here are normalised: `k(x, x) = 1`, hence `β(K) = 1`
+//! (the paper's normalisation for shift-invariant kernels).
+//!
+//! # Example
+//!
+//! ```
+//! use ep2_kernels::{GaussianKernel, Kernel};
+//!
+//! let k = GaussianKernel::new(5.0);
+//! let x = [0.0, 0.0];
+//! assert!((k.eval(&x, &x) - 1.0).abs() < 1e-15);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bandwidth;
+mod kernel;
+pub mod matrix;
+
+pub use kernel::{CauchyKernel, GaussianKernel, Kernel, KernelKind, LaplacianKernel};

@@ -1,0 +1,352 @@
+//! Level-2/3 dense routines: `gemv`, blocked multi-threaded `gemm`, and the
+//! transpose-product variants the rest of the stack needs.
+//!
+//! All matrices are row-major [`Matrix`] values. The GEMM kernel uses an
+//! `i-k-j` loop order (stream rows of `B`, accumulate into rows of `C`) with
+//! the rows of `C` distributed over scoped threads — the same structure a GPU
+//! would tile, which is what makes the device simulator's cost model
+//! (`flops = 2 m k n`) an honest description of this code.
+
+use crate::ops;
+use crate::parallel;
+use crate::Matrix;
+
+/// `y <- alpha * A x + beta * y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
+pub fn gemv(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), a.cols(), "gemv: x length mismatch");
+    assert_eq!(y.len(), a.rows(), "gemv: y length mismatch");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row_dot = ops::dot(a.row(i), x);
+        *yi = alpha * row_dot + beta * *yi;
+    }
+}
+
+/// `y <- alpha * A^T x + beta * y`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.rows()` or `y.len() != a.cols()`.
+pub fn gemv_t(alpha: f64, a: &Matrix, x: &[f64], beta: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), a.rows(), "gemv_t: x length mismatch");
+    assert_eq!(y.len(), a.cols(), "gemv_t: y length mismatch");
+    if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        if xi != 0.0 {
+            ops::axpy(alpha * xi, a.row(i), y);
+        }
+    }
+}
+
+/// `C <- alpha * A B + beta * C`, blocked and multi-threaded over row panels
+/// of `C`.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible
+/// (`a.cols() != b.rows()`, `c.shape() != (a.rows(), b.cols())`).
+pub fn gemm(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm: inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "gemm: C row mismatch");
+    assert_eq!(c.cols(), b.cols(), "gemm: C col mismatch");
+    let (k, n) = (a.cols(), b.cols());
+    if a.rows() == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        if beta != 1.0 {
+            for v in c.as_mut_slice() {
+                *v *= beta;
+            }
+        }
+        return;
+    }
+    // Panel of rows per task: big enough to amortise spawn cost, small enough
+    // to balance load.
+    let panel = (a.rows().div_ceil(parallel::num_threads() * 4)).clamp(8, 256);
+    let chunk_len = panel * n;
+    let b_data = b.as_slice();
+    parallel::for_each_chunk_mut(c.as_mut_slice(), chunk_len, |off, c_chunk| {
+        let row0 = off / n;
+        let rows_here = c_chunk.len() / n;
+        for (local_i, c_row) in c_chunk.chunks_mut(n).enumerate() {
+            let i = row0 + local_i;
+            if beta == 0.0 {
+                c_row.fill(0.0);
+            } else if beta != 1.0 {
+                for v in c_row.iter_mut() {
+                    *v *= beta;
+                }
+            }
+            let a_row = a.row(i);
+            // i-k-j: stream row p of B, accumulate into row i of C.
+            for (p, &aip) in a_row.iter().enumerate() {
+                let w = alpha * aip;
+                if w != 0.0 {
+                    let b_row = &b_data[p * n..(p + 1) * n];
+                    ops::axpy(w, b_row, c_row);
+                }
+            }
+        }
+        debug_assert_eq!(rows_here * n, c_chunk.len());
+    });
+}
+
+/// Convenience product `A B` allocating the result.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, b, 0.0, &mut c);
+    c
+}
+
+/// `C <- alpha * A^T B + beta * C` without materialising `A^T`.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible
+/// (`a.rows() != b.rows()`, `c.shape() != (a.cols(), b.cols())`).
+pub fn gemm_tn(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn: inner dimension mismatch");
+    assert_eq!(c.rows(), a.cols(), "gemm_tn: C row mismatch");
+    assert_eq!(c.cols(), b.cols(), "gemm_tn: C col mismatch");
+    if beta != 1.0 {
+        for v in c.as_mut_slice() {
+            *v *= beta;
+        }
+    }
+    // Accumulate outer products row-by-row of A/B. Serial over k (the shared
+    // dimension) but each rank-1 update is vectorised; for tall-skinny A
+    // (n >> d) this is the dominant PCA covariance path, parallelised by
+    // splitting the rows of C.
+    let n = c.cols();
+    let threads = parallel::num_threads();
+    if threads == 1 || c.rows() < 2 * threads {
+        for r in 0..a.rows() {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for (i, &ari) in a_row.iter().enumerate() {
+                let w = alpha * ari;
+                if w != 0.0 {
+                    ops::axpy(w, b_row, &mut c.as_mut_slice()[i * n..(i + 1) * n]);
+                }
+            }
+        }
+        return;
+    }
+    let rows_per_chunk = c.rows().div_ceil(threads).max(1);
+    let chunk_len = rows_per_chunk * n;
+    parallel::for_each_chunk_mut(c.as_mut_slice(), chunk_len, |off, c_chunk| {
+        let i0 = off / n;
+        let rows_here = c_chunk.len() / n;
+        for r in 0..a.rows() {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for local_i in 0..rows_here {
+                let w = alpha * a_row[i0 + local_i];
+                if w != 0.0 {
+                    ops::axpy(w, b_row, &mut c_chunk[local_i * n..(local_i + 1) * n]);
+                }
+            }
+        }
+    });
+}
+
+/// `C <- alpha * A B^T + beta * C` without materialising `B^T`.
+///
+/// # Panics
+///
+/// Panics if the shapes are incompatible
+/// (`a.cols() != b.cols()`, `c.shape() != (a.rows(), b.rows())`).
+pub fn gemm_nt(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols(), "gemm_nt: inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "gemm_nt: C row mismatch");
+    assert_eq!(c.cols(), b.rows(), "gemm_nt: C col mismatch");
+    let n = c.cols();
+    if n == 0 || c.rows() == 0 {
+        return;
+    }
+    let panel = (a.rows().div_ceil(parallel::num_threads() * 4)).clamp(8, 256);
+    let chunk_len = panel * n;
+    parallel::for_each_chunk_mut(c.as_mut_slice(), chunk_len, |off, c_chunk| {
+        let row0 = off / n;
+        for (local_i, c_row) in c_chunk.chunks_mut(n).enumerate() {
+            let a_row = a.row(row0 + local_i);
+            for (j, cij) in c_row.iter_mut().enumerate() {
+                let d = ops::dot(a_row, b.row(j));
+                *cij = alpha * d + beta * *cij;
+            }
+        }
+    });
+}
+
+/// Outer-product update `A <- A + alpha * x y^T` (BLAS `ger`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.rows()` or `y.len() != a.cols()`.
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: &mut Matrix) {
+    assert_eq!(x.len(), a.rows(), "ger: x length mismatch");
+    assert_eq!(y.len(), a.cols(), "ger: y length mismatch");
+    for (i, &xi) in x.iter().enumerate() {
+        let w = alpha * xi;
+        if w != 0.0 {
+            ops::axpy(w, y, a.row_mut(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn test_matrix(r: usize, c: usize, seed: u64) -> Matrix {
+        // Simple deterministic LCG fill; no rand dependency needed here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(r, c, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn gemv_identity() {
+        let a = Matrix::identity(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut y = [0.0; 5];
+        gemv(1.0, &a, &x, 0.0, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn gemv_alpha_beta() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let mut y = [10.0];
+        gemv(2.0, &a, &[1.0, 2.0], 3.0, &mut y);
+        assert_eq!(y, [36.0]); // 2*3 + 3*10
+    }
+
+    #[test]
+    fn gemv_t_matches_transpose() {
+        let a = test_matrix(7, 4, 3);
+        let x: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let mut y1 = vec![0.0; 4];
+        gemv_t(1.0, &a, &x, 0.0, &mut y1);
+        let at = a.transpose();
+        let mut y2 = vec![0.0; 4];
+        gemv(1.0, &at, &x, 0.0, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let a = test_matrix(33, 17, 1);
+        let b = test_matrix(17, 29, 2);
+        let c = matmul(&a, &b);
+        let c_ref = naive_matmul(&a, &b);
+        for i in 0..c.rows() {
+            for j in 0..c.cols() {
+                assert!((c[(i, j)] - c_ref[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_large_parallel_matches_naive() {
+        let a = test_matrix(301, 64, 5);
+        let b = test_matrix(64, 77, 6);
+        let c = matmul(&a, &b);
+        let c_ref = naive_matmul(&a, &b);
+        let diff = (0..c.rows())
+            .flat_map(|i| (0..c.cols()).map(move |j| (i, j)))
+            .map(|(i, j)| (c[(i, j)] - c_ref[(i, j)]).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(diff < 1e-10, "max diff {diff}");
+    }
+
+    #[test]
+    fn gemm_beta_accumulates() {
+        let a = Matrix::identity(3);
+        let b = Matrix::identity(3);
+        let mut c = Matrix::filled(3, 3, 1.0);
+        gemm(2.0, &a, &b, 0.5, &mut c);
+        assert_eq!(c[(0, 0)], 2.5);
+        assert_eq!(c[(0, 1)], 0.5);
+    }
+
+    #[test]
+    fn gemm_zero_inner_dim_scales_c() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::filled(2, 2, 4.0);
+        gemm(1.0, &a, &b, 0.25, &mut c);
+        assert_eq!(c[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = test_matrix(19, 6, 7);
+        let b = test_matrix(19, 8, 8);
+        let mut c = Matrix::zeros(6, 8);
+        gemm_tn(1.0, &a, &b, 0.0, &mut c);
+        let c_ref = naive_matmul(&a.transpose(), &b);
+        for i in 0..6 {
+            for j in 0..8 {
+                assert!((c[(i, j)] - c_ref[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = test_matrix(9, 6, 9);
+        let b = test_matrix(11, 6, 10);
+        let mut c = Matrix::zeros(9, 11);
+        gemm_nt(1.0, &a, &b, 0.0, &mut c);
+        let c_ref = naive_matmul(&a, &b.transpose());
+        for i in 0..9 {
+            for j in 0..11 {
+                assert!((c[(i, j)] - c_ref[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn ger_rank_one() {
+        let mut a = Matrix::zeros(2, 3);
+        ger(2.0, &[1.0, 2.0], &[1.0, 0.0, 1.0], &mut a);
+        assert_eq!(a.row(0), &[2.0, 0.0, 2.0]);
+        assert_eq!(a.row(1), &[4.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn gemm_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let mut c = Matrix::zeros(2, 3);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,401 @@
+//! Dense symmetric eigensolver.
+//!
+//! [`sym_eig`] computes the full eigendecomposition of a real symmetric
+//! matrix via Householder tridiagonalisation followed by the implicit-shift
+//! QL iteration (the classic EISPACK `tred2`/`tql2` pair). This is the
+//! workhorse behind the Nyström preconditioner: EigenPro 2.0 only ever
+//! eigendecomposes the `s x s` *subsample* kernel matrix, so a dense
+//! `O(s^3)` solver is exactly what the paper's Algorithm 1 calls for.
+//!
+//! Eigenvalues are returned in **descending** order (the kernel-methods
+//! convention `λ₁ ≥ λ₂ ≥ …`).
+
+use crate::{LinalgError, Matrix};
+
+/// Maximum QL iterations per eigenvalue before reporting failure.
+const MAX_QL_ITERS: usize = 64;
+
+/// A full symmetric eigendecomposition `A = V diag(λ) V^T`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors; column `i` corresponds to `values[i]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// The top `q` eigenpairs as `(values, n x q vectors)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` exceeds the decomposition size.
+    pub fn top_q(&self, q: usize) -> (Vec<f64>, Matrix) {
+        assert!(q <= self.values.len(), "q = {q} exceeds {}", self.values.len());
+        let n = self.vectors.rows();
+        let vals = self.values[..q].to_vec();
+        let mut vecs = Matrix::zeros(n, q);
+        for j in 0..q {
+            for i in 0..n {
+                vecs[(i, j)] = self.vectors[(i, j)];
+            }
+        }
+        (vals, vecs)
+    }
+}
+
+/// Computes the full eigendecomposition of the symmetric matrix `a`.
+///
+/// Only the lower triangle is referenced conceptually; the input is
+/// symmetrised defensively (`(A + A^T)/2`) to wash out round-off asymmetry
+/// from kernel-matrix assembly.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NoConvergence`] if the QL iteration fails (does not
+/// happen for finite symmetric input in practice) and
+/// [`LinalgError::InvalidArgument`] if `a` is not square.
+pub fn sym_eig(a: &Matrix) -> Result<EigenDecomposition, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::InvalidArgument {
+            message: format!("sym_eig requires a square matrix, got {:?}", a.shape()),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(EigenDecomposition {
+            values: Vec::new(),
+            vectors: Matrix::zeros(0, 0),
+        });
+    }
+    let mut v = a.clone();
+    v.symmetrize();
+    let mut d = vec![0.0_f64; n];
+    let mut e = vec![0.0_f64; n];
+    tred2(&mut v, &mut d, &mut e);
+    tql2(&mut v, &mut d, &mut e)?;
+    // tql2 leaves eigenvalues ascending (after its internal sort); flip to
+    // descending.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = idx.iter().map(|&i| d[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_j, &old_j) in idx.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// Householder reduction of `v` (symmetric) to tridiagonal form.
+///
+/// On exit `d` holds the diagonal, `e` the subdiagonal (in `e[1..]`), and `v`
+/// the accumulated orthogonal transformation. This is the EISPACK `tred2`
+/// routine (via the public-domain JAMA translation), 0-indexed.
+fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for j in 0..n {
+        d[j] = v[(n - 1, j)];
+    }
+    for i in (1..n).rev() {
+        // Scale to avoid under/overflow.
+        let mut scale = 0.0_f64;
+        let mut h = 0.0_f64;
+        for item in d.iter().take(i) {
+            scale += item.abs();
+        }
+        if scale == 0.0 {
+            e[i] = d[i - 1];
+            for j in 0..i {
+                d[j] = v[(i - 1, j)];
+                v[(i, j)] = 0.0;
+                v[(j, i)] = 0.0;
+            }
+        } else {
+            // Generate Householder vector.
+            for item in d.iter_mut().take(i) {
+                *item /= scale;
+                h += *item * *item;
+            }
+            let f = d[i - 1];
+            let mut g = h.sqrt();
+            if f > 0.0 {
+                g = -g;
+            }
+            e[i] = scale * g;
+            h -= f * g;
+            d[i - 1] = f - g;
+            for item in e.iter_mut().take(i) {
+                *item = 0.0;
+            }
+            // Apply similarity transformation to remaining columns.
+            for j in 0..i {
+                let f = d[j];
+                v[(j, i)] = f;
+                let mut g = e[j] + v[(j, j)] * f;
+                for k in (j + 1)..i {
+                    g += v[(k, j)] * d[k];
+                    e[k] += v[(k, j)] * f;
+                }
+                e[j] = g;
+            }
+            let mut f = 0.0;
+            for j in 0..i {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..i {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..i {
+                let f = d[j];
+                let g = e[j];
+                for k in j..i {
+                    let delta = f * e[k] + g * d[k];
+                    v[(k, j)] -= delta;
+                }
+                d[j] = v[(i - 1, j)];
+                v[(i, j)] = 0.0;
+            }
+        }
+        d[i] = h;
+    }
+    // Accumulate transformations.
+    for i in 0..(n - 1) {
+        v[(n - 1, i)] = v[(i, i)];
+        v[(i, i)] = 1.0;
+        let h = d[i + 1];
+        if h != 0.0 {
+            for k in 0..=i {
+                d[k] = v[(k, i + 1)] / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += v[(k, i + 1)] * v[(k, j)];
+                }
+                for k in 0..=i {
+                    let delta = g * d[k];
+                    v[(k, j)] -= delta;
+                }
+            }
+        }
+        for k in 0..=i {
+            v[(k, i + 1)] = 0.0;
+        }
+    }
+    for j in 0..n {
+        d[j] = v[(n - 1, j)];
+        v[(n - 1, j)] = 0.0;
+    }
+    v[(n - 1, n - 1)] = 1.0;
+    e[0] = 0.0;
+}
+
+/// Implicit-shift QL iteration on the tridiagonal matrix produced by
+/// [`tred2`], accumulating eigenvectors into `v` (EISPACK `tql2`).
+fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
+    let n = d.len();
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0_f64;
+    let mut tst1 = 0.0_f64;
+    let eps = 2.0_f64.powi(-52);
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                if iter > MAX_QL_ITERS {
+                    return Err(LinalgError::NoConvergence {
+                        routine: "tql2",
+                        iterations: MAX_QL_ITERS,
+                    });
+                }
+                // Compute implicit shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for item in d.iter_mut().take(n).skip(l + 2) {
+                    *item -= h;
+                }
+                f += h;
+                // Implicit QL transformation.
+                p = d[m];
+                let mut c = 1.0_f64;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0_f64;
+                let mut s2 = 0.0_f64;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g = c * e[i];
+                    h = c * p;
+                    r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+                    // Accumulate transformation.
+                    for k in 0..n {
+                        let h = v[(k, i + 1)];
+                        v[(k, i + 1)] = s * v[(k, i)] + c * h;
+                        v[(k, i)] = c * v[(k, i)] - s * h;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas;
+
+    fn reconstruct(decomp: &EigenDecomposition) -> Matrix {
+        let n = decomp.values.len();
+        let v = &decomp.vectors;
+        let lam = Matrix::from_diag(&decomp.values);
+        let vl = blas::matmul(v, &lam);
+        blas::gemm_nt(1.0, &vl, v, 0.0, &mut { Matrix::zeros(n, n) });
+        let mut out = Matrix::zeros(n, n);
+        blas::gemm_nt(1.0, &vl, v, 0.0, &mut out);
+        out
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let d = sym_eig(&a).unwrap();
+        assert!((d.values[0] - 3.0).abs() < 1e-12);
+        assert!((d.values[1] - 2.0).abs() < 1e-12);
+        assert!((d.values[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let d = sym_eig(&a).unwrap();
+        assert!((d.values[0] - 3.0).abs() < 1e-12);
+        assert!((d.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/sqrt(2) up to sign.
+        let v0 = d.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-12);
+        assert!((v0[0] - v0[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // Deterministic pseudo-random symmetric matrix.
+        let mut state = 42_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let n = 40;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let d = sym_eig(&a).unwrap();
+        // Descending order.
+        for w in d.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        // V^T V = I.
+        let vtv = blas::matmul(&d.vectors.transpose(), &d.vectors);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-9, "vtv[{i},{j}]");
+            }
+        }
+        // A = V Λ V^T.
+        let rec = reconstruct(&d);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((rec[(i, j)] - a[(i, j)]).abs() < 1e-8, "rec[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn psd_gram_matrix_has_nonnegative_spectrum() {
+        // Gram matrix X X^T is PSD.
+        let x = Matrix::from_fn(20, 5, |i, j| ((i + 1) * (j + 2)) as f64 % 7.0 - 3.0);
+        let mut g = Matrix::zeros(20, 20);
+        blas::gemm_nt(1.0, &x, &x, 0.0, &mut g);
+        let d = sym_eig(&g).unwrap();
+        for &v in &d.values {
+            assert!(v > -1e-8, "negative eigenvalue {v}");
+        }
+        // Rank is at most 5.
+        assert!(d.values[5].abs() < 1e-7);
+    }
+
+    #[test]
+    fn top_q_extracts_leading_block() {
+        let a = Matrix::from_diag(&[5.0, 4.0, 3.0, 2.0]);
+        let d = sym_eig(&a).unwrap();
+        let (vals, vecs) = d.top_q(2);
+        assert_eq!(vals, vec![5.0, 4.0]);
+        assert_eq!(vecs.shape(), (4, 2));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let d = sym_eig(&Matrix::zeros(0, 0)).unwrap();
+        assert!(d.values.is_empty());
+        let d1 = sym_eig(&Matrix::from_diag(&[7.0])).unwrap();
+        assert_eq!(d1.values, vec![7.0]);
+        assert_eq!(d1.vectors[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            sym_eig(&a),
+            Err(LinalgError::InvalidArgument { .. })
+        ));
+    }
+}

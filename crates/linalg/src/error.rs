@@ -1,0 +1,76 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `ep2-linalg` routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected shapes.
+        expected: String,
+        /// Human-readable description of the shapes that were supplied.
+        found: String,
+    },
+    /// A matrix that must be positive definite was not (e.g. Cholesky hit a
+    /// non-positive pivot).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// An argument was outside its valid range.
+    InvalidArgument {
+        /// Description of the violated requirement.
+        message: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(f, "{routine} did not converge within {iterations} iterations")
+            }
+            LinalgError::InvalidArgument { message } => {
+                write!(f, "invalid argument: {message}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 3 };
+        let s = e.to_string();
+        assert!(s.contains("pivot 3"));
+        assert!(s.starts_with("matrix"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,200 @@
+//! Lanczos iteration with full reorthogonalisation for extremal eigenpairs
+//! of a symmetric operator.
+//!
+//! Used where the spectrum's *edge* is needed cheaply — e.g. estimating
+//! `λ₁(K)` for the critical-batch-size formula `m*(k) = β(K)/λ₁(K)` — and as
+//! an independent cross-check of [`crate::subspace`]. Full
+//! reorthogonalisation costs `O(n k²)` but the Krylov dimensions used here
+//! are small (tens), so robustness wins over the classic three-term
+//! recurrence.
+
+use crate::eigen::sym_eig;
+use crate::{ops, LinalgError, Matrix, SymOp};
+
+/// Result of a Lanczos run.
+#[derive(Debug, Clone)]
+pub struct LanczosResult {
+    /// Converged Ritz values, descending.
+    pub values: Vec<f64>,
+    /// Ritz vectors (`n x k`), column `i` pairs with `values[i]`.
+    pub vectors: Matrix,
+    /// Krylov dimension actually used.
+    pub krylov_dim: usize,
+}
+
+/// Computes the top `q` eigenpairs of `op` with Lanczos.
+///
+/// `krylov_dim` is the maximum Krylov subspace size; it is clamped to
+/// `op.dim()` and should comfortably exceed `q` (3–4x is typical).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::InvalidArgument`] for `q == 0`, `q > op.dim()` or
+/// `krylov_dim < q`, and propagates dense-eigensolver failures.
+pub fn lanczos_top_q(
+    op: &dyn SymOp,
+    q: usize,
+    krylov_dim: usize,
+    seed: u64,
+) -> Result<LanczosResult, LinalgError> {
+    let n = op.dim();
+    if q == 0 || q > n {
+        return Err(LinalgError::InvalidArgument {
+            message: format!("lanczos_top_q: q = {q} must be in 1..={n}"),
+        });
+    }
+    let k_max = krylov_dim.min(n);
+    if k_max < q {
+        return Err(LinalgError::InvalidArgument {
+            message: format!("lanczos_top_q: krylov_dim = {krylov_dim} < q = {q}"),
+        });
+    }
+
+    // Deterministic pseudo-random start vector.
+    let mut state = seed | 1;
+    let mut v_cur: Vec<f64> = (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+        .collect();
+    let norm = ops::norm2(&v_cur);
+    ops::scal(1.0 / norm, &mut v_cur);
+
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(k_max);
+    let mut alphas: Vec<f64> = Vec::with_capacity(k_max);
+    let mut betas: Vec<f64> = Vec::with_capacity(k_max);
+    let mut w = vec![0.0_f64; n];
+
+    let mut k = 0;
+    while k < k_max {
+        basis.push(v_cur.clone());
+        op.apply(&v_cur, &mut w);
+        let alpha = ops::dot(&w, &v_cur);
+        alphas.push(alpha);
+        // w <- w - alpha v_k - beta v_{k-1}, then full reorthogonalisation.
+        ops::axpy(-alpha, &v_cur, &mut w);
+        if k > 0 {
+            let beta_prev = betas[k - 1];
+            ops::axpy(-beta_prev, &basis[k - 1], &mut w);
+        }
+        for vb in &basis {
+            let proj = ops::dot(vb, &w);
+            ops::axpy(-proj, vb, &mut w);
+        }
+        let beta = ops::norm2(&w);
+        k += 1;
+        if beta < 1e-13 {
+            break; // Invariant subspace found.
+        }
+        betas.push(beta);
+        v_cur = w.iter().map(|&x| x / beta).collect();
+    }
+
+    // Solve the small tridiagonal eigenproblem via the dense solver.
+    let dim = alphas.len();
+    let mut t = Matrix::zeros(dim, dim);
+    for i in 0..dim {
+        t[(i, i)] = alphas[i];
+        if i + 1 < dim {
+            t[(i, i + 1)] = betas[i];
+            t[(i + 1, i)] = betas[i];
+        }
+    }
+    let dec = sym_eig(&t)?;
+    let q_eff = q.min(dim);
+    let (vals, small_vecs) = dec.top_q(q_eff);
+
+    // Lift Ritz vectors back: columns of basis^T * small_vecs.
+    let mut vectors = Matrix::zeros(n, q_eff);
+    for j in 0..q_eff {
+        let mut col = vec![0.0_f64; n];
+        for (i, vb) in basis.iter().enumerate() {
+            ops::axpy(small_vecs[(i, j)], vb, &mut col);
+        }
+        vectors.set_col(j, &col);
+    }
+    Ok(LanczosResult {
+        values: vals,
+        vectors,
+        krylov_dim: dim,
+    })
+}
+
+/// Estimates the largest eigenvalue of `op` (convenience wrapper around a
+/// short Lanczos run).
+///
+/// # Errors
+///
+/// Propagates [`lanczos_top_q`] failures.
+pub fn largest_eigenvalue(op: &dyn SymOp, seed: u64) -> Result<f64, LinalgError> {
+    let dim = op.dim().clamp(1, 30);
+    let result = lanczos_top_q(op, 1, dim, seed)?;
+    Ok(result.values[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_top_values() {
+        let a = Matrix::from_diag(&[9.0, 7.0, 5.0, 3.0, 1.0]);
+        let r = lanczos_top_q(&a, 2, 5, 7).unwrap();
+        assert!((r.values[0] - 9.0).abs() < 1e-9, "{:?}", r.values);
+        assert!((r.values[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn largest_eigenvalue_of_gram() {
+        // A = x x^T has λ₁ = ||x||².
+        let x = [1.0, 2.0, 3.0];
+        let mut a = Matrix::zeros(3, 3);
+        crate::blas::ger(1.0, &x, &x, &mut a);
+        let l1 = largest_eigenvalue(&a, 11).unwrap();
+        assert!((l1 - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ritz_residuals_small() {
+        let n = 50;
+        // Tridiagonal Toeplitz: known spectrum 2 - 2cos(pi i/(n+1)).
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let r = lanczos_top_q(&a, 3, n, 1).unwrap();
+        let exact = |i: usize| 2.0 - 2.0 * (std::f64::consts::PI * i as f64 / (n as f64 + 1.0)).cos();
+        assert!((r.values[0] - exact(n)).abs() < 1e-8);
+        for j in 0..3 {
+            let v = r.vectors.col(j);
+            let mut av = vec![0.0; n];
+            a.apply(&v, &mut av);
+            ops::axpy(-r.values[j], &v, &mut av);
+            assert!(ops::norm2(&av) < 1e-7, "residual pair {j}");
+        }
+    }
+
+    #[test]
+    fn early_breakdown_on_low_rank() {
+        // Rank-1 operator: Lanczos must stop early and still return λ₁.
+        let x = [2.0, 0.0, 0.0, 0.0];
+        let mut a = Matrix::zeros(4, 4);
+        crate::blas::ger(1.0, &x, &x, &mut a);
+        let r = lanczos_top_q(&a, 1, 4, 3).unwrap();
+        assert!((r.values[0] - 4.0).abs() < 1e-9);
+        assert!(r.krylov_dim <= 3);
+    }
+
+    #[test]
+    fn invalid_args() {
+        let a = Matrix::identity(3);
+        assert!(lanczos_top_q(&a, 0, 3, 1).is_err());
+        assert!(lanczos_top_q(&a, 4, 4, 1).is_err());
+        assert!(lanczos_top_q(&a, 3, 2, 1).is_err());
+    }
+}

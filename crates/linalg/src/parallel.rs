@@ -1,0 +1,184 @@
+//! Scoped-thread helpers used by the blocked BLAS routines and kernel-matrix
+//! assembly.
+//!
+//! We deliberately avoid a global thread pool: the workloads here are large,
+//! coarse-grained batches (GEMM row panels, kernel matrix row blocks), so
+//! spawning scoped threads per call is cheap relative to the work and keeps
+//! the crate dependency-light.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use, honouring the `EP2_NUM_THREADS`
+/// environment variable (useful to pin benchmarks), otherwise the number of
+/// available CPUs.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("EP2_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `data` into contiguous chunks of at most `chunk_len` elements and
+/// processes them on `num_threads()` scoped threads.
+///
+/// The closure receives `(start_index, chunk)` where `start_index` is the
+/// offset of the chunk within `data`.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let threads = num_threads();
+    if threads == 1 || data.len() <= chunk_len {
+        for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(c * chunk_len, chunk);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let total_chunks = data.len().div_ceil(chunk_len);
+    // Collect raw chunk descriptors up front so each worker can claim chunks
+    // through the atomic counter (work stealing by index).
+    let chunks: Vec<(usize, &mut [T])> = {
+        let mut v = Vec::with_capacity(total_chunks);
+        let mut rest = data;
+        let mut off = 0;
+        while !rest.is_empty() {
+            let take = chunk_len.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            v.push((off, head));
+            off += take;
+            rest = tail;
+        }
+        v
+    };
+    // Wrap each chunk in a Mutex-free cell: each index is claimed exactly once.
+    type ChunkCell<'a, T> = std::sync::Mutex<Option<(usize, &'a mut [T])>>;
+    let cells: Vec<ChunkCell<'_, T>> =
+        chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(total_chunks) {
+            scope.spawn(|_| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= cells.len() {
+                    break;
+                }
+                let taken = cells[idx].lock().unwrap().take();
+                if let Some((off, chunk)) = taken {
+                    f(off, chunk);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `f(i)` for every `i in 0..n` across `num_threads()` scoped threads,
+/// claiming indices through an atomic counter.
+pub fn for_each_index<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                f(i);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Maps `f` over `0..n` in parallel and collects the results in order.
+pub fn par_map<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send + Default + Clone,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out = vec![R::default(); n];
+    {
+        let slots: Vec<std::sync::Mutex<&mut R>> =
+            out.iter_mut().map(std::sync::Mutex::new).collect();
+        for_each_index(n, |i| {
+            let mut slot = slots[i].lock().unwrap();
+            **slot = f(i);
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_everything() {
+        let mut v = vec![0_usize; 1003];
+        for_each_chunk_mut(&mut v, 64, |off, chunk| {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = off + i;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i);
+        }
+    }
+
+    #[test]
+    fn chunks_single_thread_path() {
+        std::env::set_var("EP2_NUM_THREADS", "1");
+        let mut v = vec![0_u8; 10];
+        for_each_chunk_mut(&mut v, 3, |_, c| {
+            for x in c {
+                *x = 1;
+            }
+        });
+        std::env::remove_var("EP2_NUM_THREADS");
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn for_each_index_counts() {
+        use std::sync::atomic::AtomicU64;
+        let sum = AtomicU64::new(0);
+        for_each_index(100, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn par_map_ordered() {
+        let v = par_map(17, |i| i * i);
+        assert_eq!(v[4], 16);
+        assert_eq!(v.len(), 17);
+    }
+
+    #[test]
+    fn num_threads_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

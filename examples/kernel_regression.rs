@@ -1,0 +1,63 @@
+//! Kernel regression with EigenPro 2.0.
+//!
+//! The interpolation framework is loss-agnostic (Remark 2.1 of the paper:
+//! the interpolant is the unique square-loss minimiser), so the identical
+//! Algorithm-1 training loop fits continuous targets — only the validation
+//! metric changes. This example regresses a smooth multi-output function
+//! on a latent manifold and reports RMSE / R².
+//!
+//! ```text
+//! cargo run --release --example kernel_regression
+//! ```
+
+use eigenpro2::core::trainer::{EigenPro2, TrainConfig};
+use eigenpro2::data::regression::{self, RegressionSpec};
+use eigenpro2::device::ResourceSpec;
+use eigenpro2::kernels::KernelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ds = regression::generate(&RegressionSpec {
+        outputs: 3,
+        components: 8,
+        noise: 0.05,
+        ..RegressionSpec::quick("smooth-manifold", 1_500, 16, 11)
+    });
+    let (train, test) = ds.split_at(1_200);
+    println!(
+        "regression on {}: {} train / {} test, d = {}, {} outputs\n",
+        train.name,
+        train.len(),
+        test.len(),
+        train.dim(),
+        train.n_targets()
+    );
+
+    for kind in [KernelKind::Gaussian, KernelKind::Matern52, KernelKind::Laplacian] {
+        let config = TrainConfig {
+            kernel: kind,
+            bandwidth: 2.5,
+            epochs: 12,
+            subsample_size: Some(300),
+            early_stopping: None,
+            seed: 7,
+            ..TrainConfig::default()
+        };
+        let out = EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu())
+            .fit_regression(&train, Some(&test))?;
+        let pred = out.model.predict(&test.features);
+        println!(
+            "{kind:<12} test RMSE {:.4}  R² {:.4}  (q = {}, m = {}, η = {:.1}, {:.2} s wall)",
+            regression::rmse(&pred, &test.targets),
+            regression::r2(&pred, &test.targets),
+            out.report.params.adjusted_q,
+            out.report.params.m,
+            out.report.params.eta,
+            out.report.wall_seconds,
+        );
+    }
+    println!(
+        "\nNoise floor: targets carry σ = 0.05 observation noise, so RMSE ≈ 0.05 is \
+         a perfect fit. All parameters beyond kernel/σ were selected analytically."
+    );
+    Ok(())
+}

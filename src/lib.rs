@@ -1,0 +1,23 @@
+//! # eigenpro2 — facade crate for the EigenPro 2.0 reproduction
+//!
+//! Re-exports the public API of the workspace crates so downstream users can
+//! depend on a single crate:
+//!
+//! - [`linalg`]: dense linear algebra substrate (matrices, BLAS, eigensolvers).
+//! - [`device`]: the parallel-computational-resource abstraction `G = (C_G, S_G)`
+//!   and the GPU simulator.
+//! - [`kernels`]: Gaussian/Laplacian/Cauchy kernels and kernel-matrix assembly.
+//! - [`data`]: synthetic dataset substrate and preprocessing.
+//! - [`core`]: the paper's contribution — EigenPro 2.0 (adaptive kernel
+//!   construction, Algorithm 1, analytic parameter selection).
+//! - [`baselines`]: plain kernel SGD, original EigenPro, FALKON, SMO SVM, and
+//!   the direct solver.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use ep2_baselines as baselines;
+pub use ep2_core as core;
+pub use ep2_data as data;
+pub use ep2_device as device;
+pub use ep2_kernels as kernels;
+pub use ep2_linalg as linalg;

@@ -1,0 +1,205 @@
+//! Cross-crate integration tests: the full pipeline
+//! data → device plan → adaptive kernel → training → prediction,
+//! and the paper's central mathematical guarantee (the adaptive kernel
+//! does not change the learned solution).
+
+use std::sync::Arc;
+
+use eigenpro2::baselines::{direct, sgd};
+use eigenpro2::core::trainer::{EigenPro2, StopReason, TrainConfig};
+use eigenpro2::data::{catalog, metrics};
+use eigenpro2::device::{batch, DeviceMode, ResourceSpec};
+use eigenpro2::kernels::{Kernel, KernelKind};
+
+#[test]
+fn full_pipeline_mnist_like() {
+    let data = catalog::mnist_like(800, 1);
+    let (train, test) = data.split_at(640);
+    let config = TrainConfig {
+        kernel: KernelKind::Gaussian,
+        bandwidth: 5.0,
+        epochs: 8,
+        subsample_size: Some(250),
+        early_stopping: None,
+        seed: 2,
+        ..TrainConfig::default()
+    };
+    let outcome = EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu())
+        .fit(&train, Some(&test))
+        .expect("training");
+    assert!(
+        outcome.report.final_val_error.unwrap() < 0.1,
+        "test error {:?}",
+        outcome.report.final_val_error
+    );
+    // Parameters came out of Step 1 (device) and Step 2 (spectrum).
+    let p = &outcome.report.params;
+    assert!(p.m >= 1 && p.m <= train.len());
+    assert!(p.m_star < 50.0, "m*(k) should be small, got {}", p.m_star);
+    assert!(p.m_star_g > p.m_star, "adaptive kernel must raise m*");
+    // Prediction shapes.
+    let pred = outcome.model.predict(&test.features);
+    assert_eq!(pred.shape(), (test.len(), train.n_classes));
+}
+
+/// The paper's core guarantee: the adaptive kernel k_G converges to the
+/// *same* interpolating solution as the original kernel. We train EigenPro
+/// 2.0 long enough to interpolate a small training set and compare its
+/// predictions against the direct solver's on held-out points.
+#[test]
+fn adaptive_kernel_preserves_the_solution() {
+    let data = catalog::susy_like(260, 3);
+    let (train, test) = data.split_at(200);
+    let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(3.0).into();
+
+    let exact = direct::solve(kernel, &train.features, &train.targets, 1e-10).expect("direct");
+    let exact_pred = exact.predict(&test.features);
+
+    let config = TrainConfig {
+        kernel: KernelKind::Gaussian,
+        bandwidth: 3.0,
+        epochs: 400,
+        subsample_size: Some(150),
+        early_stopping: None,
+        target_train_mse: Some(1e-8),
+        seed: 4,
+        ..TrainConfig::default()
+    };
+    let outcome = EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu())
+        .fit(&train, None)
+        .expect("training");
+    assert!(
+        outcome.report.final_train_mse < 1e-4,
+        "should approach interpolation, train mse {}",
+        outcome.report.final_train_mse
+    );
+    let ep2_pred = outcome.model.predict(&test.features);
+    // Held-out predictions agree with the exact interpolant.
+    let diff = metrics::mse(&ep2_pred, &exact_pred);
+    let scale = metrics::mse(&exact_pred, &eigenpro2::linalg::Matrix::zeros(test.len(), 2));
+    assert!(
+        diff / scale.max(1e-12) < 0.05,
+        "EigenPro 2.0 diverged from the interpolating solution: rel {diff}/{scale}"
+    );
+}
+
+/// EigenPro 2.0 beats plain SGD to a fixed training-MSE target in simulated
+/// device time at large batch — the Figure-2 ordering.
+#[test]
+fn eigenpro2_beats_sgd_to_target() {
+    let data = catalog::mnist_like(700, 5);
+    let (train, _) = data.split_at(700);
+    let device = ResourceSpec::scaled_virtual_gpu();
+    let target = 2e-2;
+    let m = 350;
+
+    let ep2 = EigenPro2::new(
+        TrainConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 5.0,
+            epochs: 30,
+            subsample_size: Some(250),
+            batch_size: Some(m),
+            target_train_mse: Some(target),
+            early_stopping: None,
+            device_mode: DeviceMode::ActualGpu,
+            seed: 6,
+            ..TrainConfig::default()
+        },
+        device.clone(),
+    )
+    .fit(&train, None)
+    .expect("ep2");
+
+    let sgd_out = sgd::train(
+        &sgd::SgdConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 5.0,
+            epochs: 30,
+            batch_size: m,
+            target_train_mse: Some(target),
+            device_mode: DeviceMode::ActualGpu,
+            seed: 6,
+            ..sgd::SgdConfig::default()
+        },
+        &device,
+        &train,
+        None,
+    )
+    .expect("sgd");
+
+    assert_eq!(ep2.report.stop_reason, StopReason::TargetReached);
+    let ep2_time = ep2.report.simulated_seconds;
+    let sgd_time = if sgd_out.report.reached_target {
+        sgd_out.report.simulated_seconds
+    } else {
+        f64::INFINITY
+    };
+    assert!(
+        ep2_time < sgd_time,
+        "EigenPro 2.0 ({ep2_time}s) must beat SGD ({sgd_time}s) at m = {m}"
+    );
+}
+
+/// Step-1 arithmetic is consistent between the device crate and what the
+/// trainer reports.
+#[test]
+fn step1_batch_plan_flows_into_trainer() {
+    let data = catalog::timit_like_small_labels(500, 12, 7);
+    let (train, _) = data.split_at(500);
+    let device = ResourceSpec::scaled_virtual_gpu();
+    let plan = batch::max_batch(&device, train.len(), train.dim(), train.n_classes);
+    let outcome = EigenPro2::new(
+        TrainConfig {
+            kernel: KernelKind::Laplacian,
+            bandwidth: 12.0,
+            epochs: 1,
+            subsample_size: Some(150),
+            early_stopping: None,
+            seed: 8,
+            ..TrainConfig::default()
+        },
+        device,
+    )
+    .fit(&train, None)
+    .expect("train");
+    assert_eq!(outcome.report.params.m, plan.batch.clamp(1, train.len()));
+    assert_eq!(outcome.report.params.capacity_batch, plan.capacity_batch);
+    assert_eq!(outcome.report.params.memory_batch, plan.memory_batch);
+}
+
+/// Different kernels and datasets flow through the same pipeline.
+#[test]
+fn all_kernels_and_catalog_datasets_train() {
+    let device = ResourceSpec::scaled_virtual_gpu();
+    let datasets = vec![
+        catalog::mnist_like(220, 9),
+        catalog::cifar10_like(220, 9),
+        catalog::svhn_like(220, 9),
+        catalog::timit_like_small_labels(220, 8, 9),
+        catalog::imagenet_features_like(220, 10, 9),
+        catalog::susy_like(220, 9),
+    ];
+    for data in datasets {
+        for kind in [KernelKind::Gaussian, KernelKind::Laplacian, KernelKind::Cauchy] {
+            let (train, test) = data.split_at(180);
+            let config = TrainConfig {
+                kernel: kind,
+                bandwidth: 8.0,
+                epochs: 2,
+                subsample_size: Some(90),
+                early_stopping: None,
+                seed: 10,
+                ..TrainConfig::default()
+            };
+            let outcome = EigenPro2::new(config, device.clone())
+                .fit(&train, Some(&test))
+                .unwrap_or_else(|e| panic!("{} with {kind} failed: {e}", data.name));
+            assert!(
+                outcome.report.final_train_mse.is_finite(),
+                "{} with {kind} diverged",
+                data.name
+            );
+        }
+    }
+}

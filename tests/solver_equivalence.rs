@@ -1,0 +1,196 @@
+//! Cross-solver equivalence: every method in this repository approximates
+//! the same mathematical object — the (regularised) kernel interpolant —
+//! so their predictions must agree where theory says they do.
+
+use std::sync::Arc;
+
+use eigenpro2::baselines::{direct, eigenpro1, falkon, sgd};
+use eigenpro2::core::trainer::{EigenPro2, TrainConfig};
+use eigenpro2::data::{catalog, metrics};
+use eigenpro2::device::ResourceSpec;
+use eigenpro2::kernels::{Kernel, KernelKind};
+use eigenpro2::linalg::Matrix;
+
+/// FALKON with centers = n and λ → 0 solves (essentially) the same system
+/// as the direct interpolation solver.
+#[test]
+fn falkon_with_all_centers_matches_direct_solver() {
+    let data = catalog::susy_like(180, 31);
+    let (train, test) = data.split_at(140);
+    let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(3.0).into();
+
+    let exact = direct::solve(kernel, &train.features, &train.targets, 1e-9).unwrap();
+    let exact_pred = exact.predict(&test.features);
+
+    let fk = falkon::train(
+        &falkon::FalkonConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 3.0,
+            centers: train.len(),
+            lambda: 1e-9,
+            cg_iterations: 120,
+            ..falkon::FalkonConfig::default()
+        },
+        &ResourceSpec::scaled_virtual_gpu(),
+        &train,
+        None,
+    )
+    .unwrap();
+    let fk_pred = fk.model.predict(&test.features);
+
+    let diff = metrics::mse(&fk_pred, &exact_pred);
+    let scale = metrics::mse(&exact_pred, &Matrix::zeros(test.len(), 2)).max(1e-12);
+    assert!(
+        diff / scale < 0.05,
+        "FALKON(M=n, λ→0) should match the interpolant: rel err {}",
+        diff / scale
+    );
+}
+
+/// EigenPro 1 and EigenPro 2.0 converge to the same predictions — the
+/// preconditioners differ in representation (n- vs s-sized), not in the
+/// fixed point.
+#[test]
+fn eigenpro1_and_eigenpro2_same_predictions() {
+    let data = catalog::mnist_like(300, 33);
+    let (train, test) = data.split_at(240);
+    let device = ResourceSpec::scaled_virtual_gpu();
+
+    let ep2 = EigenPro2::new(
+        TrainConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 5.0,
+            epochs: 60,
+            subsample_size: Some(150),
+            early_stopping: None,
+            target_train_mse: Some(1e-3),
+            seed: 5,
+            ..TrainConfig::default()
+        },
+        device.clone(),
+    )
+    .fit(&train, None)
+    .unwrap();
+
+    let ep1 = eigenpro1::train(
+        &eigenpro1::EigenPro1Config {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 5.0,
+            epochs: 60,
+            batch_size: 120,
+            q: 30,
+            target_train_mse: Some(1e-3),
+            seed: 5,
+            ..eigenpro1::EigenPro1Config::default()
+        },
+        &device,
+        &train,
+        None,
+    )
+    .unwrap();
+
+    // Both near-interpolate, so their test predictions agree closely.
+    assert!(ep2.report.final_train_mse < 2e-3, "{}", ep2.report.final_train_mse);
+    assert!(ep1.report.final_train_mse < 2e-3, "{}", ep1.report.final_train_mse);
+    let p2 = ep2.model.predict(&test.features);
+    let p1 = ep1.model.predict(&test.features);
+    let diff = metrics::mse(&p1, &p2);
+    assert!(diff < 5e-3, "prediction divergence {diff}");
+    // And they classify identically almost everywhere.
+    let l1 = metrics::classification_error(&p1, &test.labels);
+    let l2 = metrics::classification_error(&p2, &test.labels);
+    assert!((l1 - l2).abs() < 0.05, "error gap {l1} vs {l2}");
+}
+
+/// Plain SGD run long enough approaches the EigenPro 2.0 solution (slower,
+/// same destination — "SGD for either kernel converges to the same
+/// interpolated solution").
+#[test]
+fn sgd_approaches_eigenpro2_solution() {
+    let data = catalog::susy_like(200, 35);
+    let (train, test) = data.split_at(160);
+    let device = ResourceSpec::scaled_virtual_gpu();
+
+    let ep2 = EigenPro2::new(
+        TrainConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 3.0,
+            epochs: 150,
+            subsample_size: Some(100),
+            early_stopping: None,
+            target_train_mse: Some(1e-5),
+            seed: 3,
+            ..TrainConfig::default()
+        },
+        device.clone(),
+    )
+    .fit(&train, None)
+    .unwrap();
+
+    let sgd_out = sgd::train(
+        &sgd::SgdConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 3.0,
+            epochs: 600,
+            batch_size: 8, // small batch: the regime where plain SGD is efficient
+            target_train_mse: Some(1e-5),
+            seed: 3,
+            ..sgd::SgdConfig::default()
+        },
+        &device,
+        &train,
+        None,
+    )
+    .unwrap();
+
+    // Both reached low train MSE; predictions agree.
+    assert!(ep2.report.final_train_mse < 1e-3, "{}", ep2.report.final_train_mse);
+    assert!(sgd_out.report.final_train_mse < 1e-3, "{}", sgd_out.report.final_train_mse);
+    let a = ep2.model.predict(&test.features);
+    let b = sgd_out.model.predict(&test.features);
+    let diff = metrics::mse(&a, &b);
+    assert!(diff < 1e-2, "solutions diverge: {diff}");
+}
+
+/// The EigenPro 2.0 trainer and the raw distributed iteration agree when
+/// run with identical parameters on one device.
+#[test]
+fn distributed_single_device_matches_trainer_math() {
+    use eigenpro2::core::distributed::DistributedEigenProIteration;
+    use eigenpro2::core::iteration::EigenProIteration;
+    use eigenpro2::core::{KernelModel, Preconditioner};
+    use eigenpro2::device::{ClusterSpec, DeviceMode};
+
+    let data = catalog::mnist_like(150, 37);
+    let (train, _) = data.split_at(150);
+    let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(5.0).into();
+    let p = Preconditioner::fit_damped(&kernel, &train.features, 80, 10, 0.95, 1).unwrap();
+    let eta = 20.0;
+    let batch: Vec<usize> = (0..50).collect();
+
+    let mut a = EigenProIteration::new(
+        KernelModel::zeros(kernel.clone(), train.features.clone(), train.n_classes),
+        Some(p.clone()),
+        eta,
+    );
+    let mut b = DistributedEigenProIteration::new(
+        KernelModel::zeros(kernel, train.features.clone(), train.n_classes),
+        Some(p),
+        ClusterSpec::titan_xp_bank(3),
+        DeviceMode::ActualGpu,
+        eta,
+    );
+    for _ in 0..5 {
+        a.step(&batch, &train.targets);
+        b.step(&batch, &train.targets);
+    }
+    let max_diff = a
+        .model()
+        .weights()
+        .as_slice()
+        .iter()
+        .zip(b.model().weights().as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0_f64, f64::max);
+    assert!(max_diff < 1e-9, "weight drift {max_diff}");
+}
