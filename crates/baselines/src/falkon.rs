@@ -113,8 +113,7 @@ pub fn train(
     for i in 0..m_centers {
         tt[(i, i)] += config.lambda * n as f64 / n as f64; // λ I
     }
-    let (a_factor, _) =
-        CholeskyFactor::new_with_jitter(&tt, 1e-12, 10).map_err(CoreError::from)?;
+    let (a_factor, _) = CholeskyFactor::new_with_jitter(&tt, 1e-12, 10).map_err(CoreError::from)?;
     clock.record_launch(2.0 * (m_centers as f64).powi(3) / 3.0);
 
     // Preconditioned CG per output column on
@@ -246,7 +245,10 @@ mod tests {
         };
         let few = run(40);
         let many = run(300);
-        assert!(many < few, "more centers should fit better: {many} vs {few}");
+        assert!(
+            many < few,
+            "more centers should fit better: {many} vs {few}"
+        );
     }
 
     #[test]

@@ -158,7 +158,11 @@ pub fn train(
             metrics::classification_error(&p, &v.labels)
         });
         epochs.push((epoch, train_mse, val_error));
-        if config.target_train_mse.map(|t| train_mse <= t).unwrap_or(false) {
+        if config
+            .target_train_mse
+            .map(|t| train_mse <= t)
+            .unwrap_or(false)
+        {
             reached_target = true;
             break;
         }

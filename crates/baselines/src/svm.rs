@@ -273,8 +273,7 @@ pub fn train(
     let start = Instant::now();
     let mut clock = SimClock::new(device.clone(), config.device_mode);
     let (per_class, total_iters, rows_computed) = {
-        let mut cache =
-            RowCache::new(kernel.as_ref(), &train_set.features, config.parallel_kernel);
+        let mut cache = RowCache::new(kernel.as_ref(), &train_set.features, config.parallel_kernel);
         let mut per_class = Vec::with_capacity(train_set.n_classes);
         let mut total_iters = 0_u64;
         for class in 0..train_set.n_classes {
@@ -369,7 +368,11 @@ mod tests {
             ..SvmConfig::default()
         };
         let (_, report) = train(&config, &ResourceSpec::cpu_host(), &tr, Some(&te)).unwrap();
-        assert!(report.train_error < 0.05, "train error {}", report.train_error);
+        assert!(
+            report.train_error < 0.05,
+            "train error {}",
+            report.train_error
+        );
         assert!(
             report.test_error.unwrap() < 0.2,
             "test error {:?}",

@@ -83,6 +83,73 @@ fn bench_training_iterations(c: &mut Criterion) {
     group.finish();
 }
 
+/// Minimal manual timer for the precision-ratio benches: one warm-up pass
+/// plus `samples` timed runs, reporting the minimum (the least-noisy
+/// statistic for ratio claims).
+fn time_min<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    std::hint::black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn lcg_matrix(n: usize, m: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    Matrix::from_fn(n, m, |_, _| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+/// The tentpole perf claim of the precision-generic refactor: `blas::gemm`
+/// instantiated at f32 moves half the bytes and vectorises at twice the
+/// lane width, so it should run ≥1.5x faster than f64 at GEMM sizes that
+/// spill the cache (the paper's hot path is memory-bound). Reports the
+/// measured speedup ratio per size so the bench trajectory tracks it.
+fn bench_gemm_precision(_c: &mut Criterion) {
+    for &n in &[1024_usize, 4096] {
+        let a64 = lcg_matrix(n, n, 3);
+        let b64 = lcg_matrix(n, n, 4);
+        let a32: Matrix<f32> = a64.cast();
+        let b32: Matrix<f32> = b64.cast();
+        let samples = if n >= 4096 { 3 } else { 5 };
+        let mut c64 = Matrix::zeros(n, n);
+        let t64 = time_min(samples, || blas::gemm(1.0, &a64, &b64, 0.0, &mut c64));
+        let mut c32 = Matrix::<f32>::zeros(n, n);
+        let t32 = time_min(samples, || blas::gemm(1.0_f32, &a32, &b32, 0.0, &mut c32));
+        println!(
+            "bench gemm_precision/{n}  f64 {:.3}s  f32 {:.3}s  speedup(f32/f64) {:.2}x",
+            t64,
+            t32,
+            t64 / t32
+        );
+    }
+}
+
+/// f32 vs f64 full kernel-matrix assembly (GEMM + radial profile) at
+/// subsample-like sizes — the other memory-bound hot path the precision
+/// policy accelerates.
+fn bench_kernel_assembly_precision(_c: &mut Criterion) {
+    let kernel = GaussianKernel::new(5.0);
+    for &n in &[1000_usize, 4000] {
+        let x64 = lcg_matrix(n, 256, 9);
+        let x32: Matrix<f32> = x64.cast();
+        let samples = if n >= 4000 { 3 } else { 5 };
+        let t64 = time_min(samples, || kmat::kernel_matrix::<f64>(&kernel, &x64));
+        let t32 = time_min(samples, || kmat::kernel_matrix::<f32>(&kernel, &x32));
+        println!(
+            "bench kernel_matrix_precision/{n}x256  f64 {:.3}s  f32 {:.3}s  speedup(f32/f64) {:.2}x",
+            t64,
+            t32,
+            t64 / t32
+        );
+    }
+}
+
 /// DESIGN.md ablation: f32 vs f64 kernel-row assembly. The library computes
 /// in f64 (removing the paper's careful eigen-normalisation concerns); the
 /// paper's GPU path is f32. This measures the raw throughput gap on a
@@ -144,7 +211,9 @@ fn bench_falkon(c: &mut Criterion) {
             cg_iterations: 10,
             ..falkon::FalkonConfig::default()
         };
-        bencher.iter(|| falkon::train(&config, &ResourceSpec::scaled_virtual_gpu(), &train, None).unwrap());
+        bencher.iter(|| {
+            falkon::train(&config, &ResourceSpec::scaled_virtual_gpu(), &train, None).unwrap()
+        });
     });
     group.finish();
 }
@@ -152,7 +221,9 @@ fn bench_falkon(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gemm,
+    bench_gemm_precision,
     bench_kernel_assembly,
+    bench_kernel_assembly_precision,
     bench_eigensolver,
     bench_training_iterations,
     bench_f32_kernel_row,

@@ -76,9 +76,13 @@ fn main() {
     for alpha in [1.0, 0.95, 0.9, 0.8, 0.5] {
         let p = Preconditioner::fit_damped(&kernel, &train.features, 400, 30, alpha, 3).unwrap();
         let beta_g = p.beta_estimate(&kernel, &train.features, 1_000, 3);
-        let lambda = p
-            .lambda1_preconditioned()
-            .max(p.probe_lambda_max(&kernel, &train.features, 800, 12, 3));
+        let lambda = p.lambda1_preconditioned().max(p.probe_lambda_max(
+            &kernel,
+            &train.features,
+            800,
+            12,
+            3,
+        ));
         let eta = critical::optimal_step_size(m, beta_g, lambda);
         let model = KernelModel::zeros(kernel.clone(), train.features.clone(), train.n_classes);
         let mut it = EigenProIteration::new(model, Some(p), eta);

@@ -54,7 +54,13 @@ fn main() {
     }
     print_table(
         &format!("multi-GPU Step 1 at n = {n} (MNIST-shaped, Titan Xp bank, NVLink-class)"),
-        &["devices g", "m^max(g)", "time/iter", "time/epoch", "efficiency"],
+        &[
+            "devices g",
+            "m^max(g)",
+            "time/iter",
+            "time/epoch",
+            "efficiency",
+        ],
         &rows,
     );
     println!(
@@ -70,9 +76,9 @@ fn main() {
     let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(5.0).into();
     let p = Preconditioner::fit_damped(&kernel, &train.features, 250, 25, 0.95, 3).unwrap();
     let beta_g = p.beta_estimate(&kernel, &train.features, 640, 3);
-    let lambda = p
-        .lambda1_preconditioned()
-        .max(p.probe_lambda_max(&kernel, &train.features, 640, 24, 3));
+    let lambda =
+        p.lambda1_preconditioned()
+            .max(p.probe_lambda_max(&kernel, &train.features, 640, 24, 3));
     let m = 160;
     let eta = ep2_core::critical::optimal_step_size(m, beta_g, lambda);
 
@@ -133,7 +139,12 @@ fn main() {
             run_epochs,
             fmt_pct(single_err)
         ),
-        &["devices g", "test error", "max weight diff vs single", "sim cluster time"],
+        &[
+            "devices g",
+            "test error",
+            "max weight diff vs single",
+            "sim cluster time",
+        ],
         &rows,
     );
     println!(

@@ -28,6 +28,7 @@ fn main() {
         Some(400),
         None,
         None,
+        ep2_device::Precision::F64,
         7,
     )
     .expect("plan");
@@ -80,9 +81,7 @@ fn main() {
     );
     let gain = critical::speedup_over_single(params.m, params.beta_g, params.lambda1_g, lambda_n)
         / critical::speedup_over_single(params.m, params.beta, params.lambda1, lambda_n);
-    println!(
-        "check: at m = m^max_G the adaptive kernel converges {gain:.0}x faster per iteration"
-    );
+    println!("check: at m = m^max_G the adaptive kernel converges {gain:.0}x faster per iteration");
     println!(
         "check: predicted acceleration (Appendix C) = {:.0}x",
         params.acceleration

@@ -9,8 +9,8 @@
 //! wins overall; EigenPro 1 sits between (preconditioned but with
 //! n-scaled overhead and hand-tuned step size).
 
-use ep2_bench::{fmt_secs, print_table};
 use ep2_baselines::{eigenpro1, sgd};
+use ep2_bench::{fmt_secs, print_table};
 use ep2_core::trainer::{EigenPro2, TrainConfig};
 use ep2_data::{catalog, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec};
@@ -23,7 +23,13 @@ struct RunResult {
     reached: bool,
 }
 
-fn run_ep2(train: &Dataset, m: usize, target: f64, bandwidth: f64, kernel: KernelKind) -> RunResult {
+fn run_ep2(
+    train: &Dataset,
+    m: usize,
+    target: f64,
+    bandwidth: f64,
+    kernel: KernelKind,
+) -> RunResult {
     let config = TrainConfig {
         kernel,
         bandwidth,
@@ -47,7 +53,13 @@ fn run_ep2(train: &Dataset, m: usize, target: f64, bandwidth: f64, kernel: Kerne
     }
 }
 
-fn run_sgd(train: &Dataset, m: usize, target: f64, bandwidth: f64, kernel: KernelKind) -> RunResult {
+fn run_sgd(
+    train: &Dataset,
+    m: usize,
+    target: f64,
+    bandwidth: f64,
+    kernel: KernelKind,
+) -> RunResult {
     let config = sgd::SgdConfig {
         kernel,
         bandwidth,
@@ -67,7 +79,13 @@ fn run_sgd(train: &Dataset, m: usize, target: f64, bandwidth: f64, kernel: Kerne
     }
 }
 
-fn run_ep1(train: &Dataset, m: usize, target: f64, bandwidth: f64, kernel: KernelKind) -> RunResult {
+fn run_ep1(
+    train: &Dataset,
+    m: usize,
+    target: f64,
+    bandwidth: f64,
+    kernel: KernelKind,
+) -> RunResult {
     let config = eigenpro1::EigenPro1Config {
         kernel,
         bandwidth,
@@ -141,7 +159,13 @@ fn main() {
     // (b) TIMIT-like subsample (reduced label set at this scale).
     let timit = catalog::timit_like_small_labels(1000, 24, 5);
     let (timit_train, _) = timit.split_at(1000);
-    sweep("TIMIT-like", &timit_train, 2e-2, 12.0, KernelKind::Laplacian);
+    sweep(
+        "TIMIT-like",
+        &timit_train,
+        2e-2,
+        12.0,
+        KernelKind::Laplacian,
+    );
 
     println!(
         "\nShape checks vs the paper: EigenPro 2.0's time keeps dropping as m grows \

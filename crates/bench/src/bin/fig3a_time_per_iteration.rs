@@ -28,9 +28,7 @@ fn main() {
     let device = ResourceSpec::scaled_virtual_gpu();
     let knee = (device.parallel_capacity / ((d + l) as f64 * n as f64)).floor();
 
-    println!(
-        "Figure 3a: time per iteration vs batch size (TIMIT-like, n = {n}, d = {d}, l = {l})"
-    );
+    println!("Figure 3a: time per iteration vs batch size (TIMIT-like, n = {n}, d = {d}, l = {l})");
     println!(
         "simulated device: {} (C_G = {:.1e}, capacity knee at m = {knee})\n",
         device.name, device.parallel_capacity,
@@ -63,7 +61,13 @@ fn main() {
     }
     print_table(
         "per-iteration time",
-        &["batch m", "actual GPU (sim)", "ideal parallel (sim)", "sequential (sim)", "measured CPU"],
+        &[
+            "batch m",
+            "actual GPU (sim)",
+            "ideal parallel (sim)",
+            "sequential (sim)",
+            "measured CPU",
+        ],
         &rows,
     );
     println!(

@@ -17,7 +17,10 @@ fn main() {
     let l = 144;
 
     println!("Figure 3b: simulated GPU time per epoch vs batch size, across model sizes n");
-    println!("device: {} (S_G = {:.1e} slots)\n", titan.name, titan.memory_floats);
+    println!(
+        "device: {} (S_G = {:.1e} slots)\n",
+        titan.name, titan.memory_floats
+    );
 
     for &n in &[100_000usize, 400_000, 1_000_000, 2_000_000] {
         let plan = batch::max_batch(&titan, n, d, l);

@@ -61,13 +61,21 @@ fn kernel_choice_section() {
         rows.push(vec![
             kind.to_string(),
             format!("{:.1}", m_star(kind, 8.0)),
-            errs.iter().map(|e| fmt_pct(*e)).collect::<Vec<_>>().join(" / "),
+            errs.iter()
+                .map(|e| fmt_pct(*e))
+                .collect::<Vec<_>>()
+                .join(" / "),
             fmt_pct(spread),
         ]);
     }
     print_table(
         "kernel choice (SVHN-like; fixed 2-epoch budget; σ ∈ {2, 8, 32})",
-        &["kernel", "m*(k) @ σ=8", "test error per σ", "error spread over σ"],
+        &[
+            "kernel",
+            "m*(k) @ σ=8",
+            "test error per σ",
+            "error spread over σ",
+        ],
         &rows,
     );
     println!(
@@ -82,8 +90,7 @@ fn pca_section() {
     let (train, test) = data.split_at(960);
 
     let run = |train: &Dataset, test: &Dataset, label: &str| -> Vec<String> {
-        let device =
-            virtual_gpu_saturating_at(240, train.len(), train.dim() + train.n_classes);
+        let device = virtual_gpu_saturating_at(240, train.len(), train.dim() + train.n_classes);
         let out = EigenPro2::new(
             TrainConfig {
                 kernel: KernelKind::Gaussian,

@@ -53,7 +53,13 @@ fn analytic_section() {
     ];
     print_table(
         "Table 1 (analytic, paper scale: n=1e6 s=1e4 d=1e3 m=1e3 q=1e2 l=1e2)",
-        &["method", "compute/iter", "memory (slots)", "compute overhead", "memory overhead"],
+        &[
+            "method",
+            "compute/iter",
+            "memory (slots)",
+            "compute overhead",
+            "memory overhead",
+        ],
         &rows,
     );
     println!(

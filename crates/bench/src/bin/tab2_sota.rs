@@ -15,8 +15,8 @@
 //! - FALKON's λ is selected by validation on a held-out slice of the
 //!   training set (the paper cross-validates FALKON's hyper-parameters).
 
-use ep2_bench::{fmt_pct, fmt_secs, print_table, table2_reference_rows, virtual_gpu_saturating_at};
 use ep2_baselines::{eigenpro1, falkon};
+use ep2_bench::{fmt_pct, fmt_secs, print_table, table2_reference_rows, virtual_gpu_saturating_at};
 use ep2_core::trainer::{EarlyStopping, EigenPro2, TrainConfig};
 use ep2_data::{catalog, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec};

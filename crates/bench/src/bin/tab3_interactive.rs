@@ -14,8 +14,8 @@
 //! GPU-vs-CPU wall time, which a CPU-only reproduction cannot measure
 //! directly); host wall time is shown for reference.
 
-use ep2_bench::{fmt_pct, fmt_secs, print_table, virtual_gpu_saturating_at};
 use ep2_baselines::svm;
+use ep2_bench::{fmt_pct, fmt_secs, print_table, virtual_gpu_saturating_at};
 use ep2_core::trainer::{EigenPro2, TrainConfig};
 use ep2_data::{catalog, metrics, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec};
@@ -34,10 +34,34 @@ fn main() {
     let parallel_device = ResourceSpec::new("parallel device (8x)", 8.0e6, 1.6e10, 3.2e10, 1.0e-7);
 
     let specs = vec![
-        Spec { name: "TIMIT", data: catalog::timit_like_small_labels(1_500, 24, 31), train_n: 1_200, bandwidth: 12.0, svm_c: 10.0 },
-        Spec { name: "SVHN", data: catalog::svhn_like(1_500, 32), train_n: 1_200, bandwidth: 6.0, svm_c: 10.0 },
-        Spec { name: "MNIST", data: catalog::mnist_like(1_500, 33), train_n: 1_200, bandwidth: 5.0, svm_c: 10.0 },
-        Spec { name: "CIFAR-10", data: catalog::cifar10_like(1_500, 34), train_n: 1_200, bandwidth: 8.0, svm_c: 10.0 },
+        Spec {
+            name: "TIMIT",
+            data: catalog::timit_like_small_labels(1_500, 24, 31),
+            train_n: 1_200,
+            bandwidth: 12.0,
+            svm_c: 10.0,
+        },
+        Spec {
+            name: "SVHN",
+            data: catalog::svhn_like(1_500, 32),
+            train_n: 1_200,
+            bandwidth: 6.0,
+            svm_c: 10.0,
+        },
+        Spec {
+            name: "MNIST",
+            data: catalog::mnist_like(1_500, 33),
+            train_n: 1_200,
+            bandwidth: 5.0,
+            svm_c: 10.0,
+        },
+        Spec {
+            name: "CIFAR-10",
+            data: catalog::cifar10_like(1_500, 34),
+            train_n: 1_200,
+            bandwidth: 8.0,
+            svm_c: 10.0,
+        },
     ];
 
     let mut sim_rows = Vec::new();
@@ -105,9 +129,21 @@ fn main() {
         sim_rows.push(vec![
             spec.name.to_string(),
             format!("{} / {}", train.len(), train.dim()),
-            format!("{} ({})", fmt_secs(out.report.simulated_seconds), fmt_pct(ep2_error)),
-            format!("{} ({})", fmt_secs(thunder.simulated_seconds), fmt_pct(thunder.test_error.unwrap())),
-            format!("{} ({})", fmt_secs(libsvm.simulated_seconds), fmt_pct(svm_error)),
+            format!(
+                "{} ({})",
+                fmt_secs(out.report.simulated_seconds),
+                fmt_pct(ep2_error)
+            ),
+            format!(
+                "{} ({})",
+                fmt_secs(thunder.simulated_seconds),
+                fmt_pct(thunder.test_error.unwrap())
+            ),
+            format!(
+                "{} ({})",
+                fmt_secs(libsvm.simulated_seconds),
+                fmt_pct(svm_error)
+            ),
         ]);
         wall_rows.push(vec![
             spec.name.to_string(),
@@ -118,12 +154,23 @@ fn main() {
     }
     print_table(
         "Table 3 (reproduction scale): simulated device time to SVM-level accuracy (test error)",
-        &["dataset", "n / d", "EigenPro 2.0 (GPU)", "ThunderSVM (parallel)", "LibSVM (1 CPU thread)"],
+        &[
+            "dataset",
+            "n / d",
+            "EigenPro 2.0 (GPU)",
+            "ThunderSVM (parallel)",
+            "LibSVM (1 CPU thread)",
+        ],
         &sim_rows,
     );
     print_table(
         "host wall-clock for reference (all methods actually ran on this CPU)",
-        &["dataset", "EigenPro 2.0", "ThunderSVM stand-in", "LibSVM stand-in"],
+        &[
+            "dataset",
+            "EigenPro 2.0",
+            "ThunderSVM stand-in",
+            "LibSVM stand-in",
+        ],
         &wall_rows,
     );
     println!(

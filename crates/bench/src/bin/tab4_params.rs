@@ -43,7 +43,16 @@ fn paper_scale_section() {
     }
     print_table(
         "Table 4, Step-1 column at paper scale (Titan Xp model)",
-        &["dataset", "n", "d", "l", "m^C_G", "m^S_G", "m (ours)", "m (paper)"],
+        &[
+            "dataset",
+            "n",
+            "d",
+            "l",
+            "m^C_G",
+            "m^S_G",
+            "m (ours)",
+            "m (paper)",
+        ],
         &rows,
     );
     println!(
@@ -62,10 +71,30 @@ fn reproduction_scale_section() {
         data: ep2_data::Dataset,
     }
     let specs = vec![
-        Row { name: "MNIST", kernel: KernelKind::Gaussian, bandwidth: 5.0, data: catalog::mnist_like(1_500, 41) },
-        Row { name: "TIMIT", kernel: KernelKind::Laplacian, bandwidth: 15.0, data: catalog::timit_like_small_labels(1_500, 36, 42) },
-        Row { name: "ImageNet", kernel: KernelKind::Gaussian, bandwidth: 16.0, data: catalog::imagenet_features_like(1_200, 40, 43) },
-        Row { name: "SUSY", kernel: KernelKind::Gaussian, bandwidth: 4.0, data: catalog::susy_like(1_500, 44) },
+        Row {
+            name: "MNIST",
+            kernel: KernelKind::Gaussian,
+            bandwidth: 5.0,
+            data: catalog::mnist_like(1_500, 41),
+        },
+        Row {
+            name: "TIMIT",
+            kernel: KernelKind::Laplacian,
+            bandwidth: 15.0,
+            data: catalog::timit_like_small_labels(1_500, 36, 42),
+        },
+        Row {
+            name: "ImageNet",
+            kernel: KernelKind::Gaussian,
+            bandwidth: 16.0,
+            data: catalog::imagenet_features_like(1_200, 40, 43),
+        },
+        Row {
+            name: "SUSY",
+            kernel: KernelKind::Gaussian,
+            bandwidth: 4.0,
+            data: catalog::susy_like(1_500, 44),
+        },
     ];
     let mut rows = Vec::new();
     for spec in &specs {
@@ -78,6 +107,7 @@ fn reproduction_scale_section() {
             Some(400),
             None,
             None,
+            ep2_device::Precision::F64,
             17,
         )
         .expect("plan");

@@ -116,18 +116,78 @@ pub struct ReferenceRow {
 /// The "Results of Other Methods" column of Table 2, transcribed.
 pub fn table2_reference_rows() -> Vec<ReferenceRow> {
     vec![
-        ReferenceRow { dataset: "MNIST", method: "EigenPro (paper)", error: "0.70%", resource_time: "4.8 h / GTX Titan X" },
-        ReferenceRow { dataset: "MNIST", method: "PCG (Avron et al.)", error: "0.72%", resource_time: "1.1 h / 1344 vCPUs" },
-        ReferenceRow { dataset: "MNIST", method: "Lu et al. 2014", error: "0.85%", resource_time: "<37.5 h / Tesla K20m" },
-        ReferenceRow { dataset: "ImageNet", method: "Inception-ResNet-v2", error: "19.9%", resource_time: "-" },
-        ReferenceRow { dataset: "ImageNet", method: "FALKON (paper)", error: "20.7%", resource_time: "4 h / Tesla K40c" },
-        ReferenceRow { dataset: "TIMIT", method: "EigenPro (paper)", error: "31.7%", resource_time: "3.2 h / GTX Titan X" },
-        ReferenceRow { dataset: "TIMIT", method: "FALKON (paper)", error: "32.3%", resource_time: "1.5 h / Tesla K40c" },
-        ReferenceRow { dataset: "TIMIT", method: "Ensemble (Huang et al.)", error: "33.5%", resource_time: "512 BlueGene/Q cores" },
-        ReferenceRow { dataset: "TIMIT", method: "BCD (Tu et al.)", error: "33.5%", resource_time: "7.5 h / 1024 vCPUs" },
-        ReferenceRow { dataset: "SUSY", method: "EigenPro (paper)", error: "19.8%", resource_time: "6 m / GTX Titan X" },
-        ReferenceRow { dataset: "SUSY", method: "FALKON (paper)", error: "19.6%", resource_time: "4 m / Tesla K40c" },
-        ReferenceRow { dataset: "SUSY", method: "Hierarchical (Chen et al.)", error: "~20%", resource_time: "36 m / IBM POWER8" },
+        ReferenceRow {
+            dataset: "MNIST",
+            method: "EigenPro (paper)",
+            error: "0.70%",
+            resource_time: "4.8 h / GTX Titan X",
+        },
+        ReferenceRow {
+            dataset: "MNIST",
+            method: "PCG (Avron et al.)",
+            error: "0.72%",
+            resource_time: "1.1 h / 1344 vCPUs",
+        },
+        ReferenceRow {
+            dataset: "MNIST",
+            method: "Lu et al. 2014",
+            error: "0.85%",
+            resource_time: "<37.5 h / Tesla K20m",
+        },
+        ReferenceRow {
+            dataset: "ImageNet",
+            method: "Inception-ResNet-v2",
+            error: "19.9%",
+            resource_time: "-",
+        },
+        ReferenceRow {
+            dataset: "ImageNet",
+            method: "FALKON (paper)",
+            error: "20.7%",
+            resource_time: "4 h / Tesla K40c",
+        },
+        ReferenceRow {
+            dataset: "TIMIT",
+            method: "EigenPro (paper)",
+            error: "31.7%",
+            resource_time: "3.2 h / GTX Titan X",
+        },
+        ReferenceRow {
+            dataset: "TIMIT",
+            method: "FALKON (paper)",
+            error: "32.3%",
+            resource_time: "1.5 h / Tesla K40c",
+        },
+        ReferenceRow {
+            dataset: "TIMIT",
+            method: "Ensemble (Huang et al.)",
+            error: "33.5%",
+            resource_time: "512 BlueGene/Q cores",
+        },
+        ReferenceRow {
+            dataset: "TIMIT",
+            method: "BCD (Tu et al.)",
+            error: "33.5%",
+            resource_time: "7.5 h / 1024 vCPUs",
+        },
+        ReferenceRow {
+            dataset: "SUSY",
+            method: "EigenPro (paper)",
+            error: "19.8%",
+            resource_time: "6 m / GTX Titan X",
+        },
+        ReferenceRow {
+            dataset: "SUSY",
+            method: "FALKON (paper)",
+            error: "19.6%",
+            resource_time: "4 m / Tesla K40c",
+        },
+        ReferenceRow {
+            dataset: "SUSY",
+            method: "Hierarchical (Chen et al.)",
+            error: "~20%",
+            resource_time: "36 m / IBM POWER8",
+        },
     ]
 }
 
@@ -162,7 +222,10 @@ mod tests {
         let s = render_table(
             "t",
             &["a", "long-header"],
-            &[vec!["x".into(), "y".into()], vec!["longer-cell".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["longer-cell".into(), "z".into()],
+            ],
         );
         assert!(s.contains("== t =="));
         assert!(s.contains("| longer-cell "));

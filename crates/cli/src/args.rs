@@ -35,7 +35,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         // `--key=value` or `--key value` or bare `--flag`.
         if let Some((k, v)) = key.split_once('=') {
             options.insert(k.to_string(), v.to_string());
-        } else if iter.peek().map(|next| !next.starts_with("--")).unwrap_or(false) {
+        } else if iter
+            .peek()
+            .map(|next| !next.starts_with("--"))
+            .unwrap_or(false)
+        {
             options.insert(key.to_string(), iter.next().unwrap().clone());
         } else {
             options.insert(key.to_string(), String::new());

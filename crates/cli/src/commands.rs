@@ -5,7 +5,7 @@ use std::sync::Arc;
 use ep2_core::autotune;
 use ep2_core::trainer::{EarlyStopping, EigenPro2, TrainConfig};
 use ep2_data::{catalog, Dataset};
-use ep2_device::{DeviceMode, ResourceSpec};
+use ep2_device::{DeviceMode, Precision, ResourceSpec};
 use ep2_kernels::{Kernel, KernelKind};
 
 use crate::args::Parsed;
@@ -28,6 +28,11 @@ common options:
   --kernel <name>     gaussian | laplacian | cauchy | matern32 | matern52 | rq
   --sigma <float>     kernel bandwidth                    (default 5)
   --device <name>     titan-xp | k40c | cpu | virtual     (default virtual)
+  --precision <name>  f32 | f64 | mixed                   (default f64)
+                      f32 runs the paper's single-precision GPU scenario
+                      (doubles the memory-limited batch m^S_G); mixed keeps
+                      eigensolves/step-size/error sums in f64 while the
+                      kernel/GEMM hot loop runs in f32
   --seed <int>        RNG seed                            (default 0)
 
 plan/train options:
@@ -66,7 +71,10 @@ pub fn run(parsed: &Parsed) -> Result<(), String> {
 }
 
 fn devices() -> Result<(), String> {
-    println!("{:<24} {:>12} {:>12} {:>12} {:>10}", "name", "C_G", "S_G", "peak ops/s", "overhead");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>10}",
+        "name", "C_G", "S_G", "peak ops/s", "overhead"
+    );
     for spec in [
         ResourceSpec::titan_xp(),
         ResourceSpec::tesla_k40c(),
@@ -75,7 +83,11 @@ fn devices() -> Result<(), String> {
     ] {
         println!(
             "{:<24} {:>12.2e} {:>12.2e} {:>12.2e} {:>9.1e}s",
-            spec.name, spec.parallel_capacity, spec.memory_floats, spec.peak_flops, spec.launch_overhead
+            spec.name,
+            spec.parallel_capacity,
+            spec.memory_floats,
+            spec.peak_flops,
+            spec.launch_overhead
         );
     }
     Ok(())
@@ -133,6 +145,13 @@ fn load_device(parsed: &Parsed) -> Result<ResourceSpec, String> {
     }
 }
 
+fn load_precision(parsed: &Parsed) -> Result<Precision, String> {
+    match parsed.options.get("precision") {
+        None => Ok(Precision::F64),
+        Some(name) => name.parse(), // Precision's FromStr carries the message
+    }
+}
+
 fn load_kernel_kind(parsed: &Parsed) -> Result<KernelKind, String> {
     let name = parsed
         .options
@@ -148,6 +167,7 @@ fn plan(parsed: &Parsed) -> Result<(), String> {
     let kind = load_kernel_kind(parsed)?;
     let sigma: f64 = parsed.get_or("sigma", 5.0)?;
     let seed: u64 = parsed.get_or("seed", 0)?;
+    let precision = load_precision(parsed)?;
     let kernel: Arc<dyn Kernel> = kind.with_bandwidth(sigma).into();
     let (params, _) = autotune::plan(
         &kernel,
@@ -157,19 +177,45 @@ fn plan(parsed: &Parsed) -> Result<(), String> {
         parsed.get_opt("s")?,
         parsed.get_opt("q")?,
         parsed.get_opt("batch")?,
+        precision,
         seed,
     )
     .map_err(|e| e.to_string())?;
-    println!("dataset: {} (n = {}, d = {}, l = {})", dataset.name, dataset.len(), dataset.dim(), dataset.n_classes);
-    println!("device:  {} | kernel: {kind} (sigma = {sigma})", device.name);
+    println!(
+        "dataset: {} (n = {}, d = {}, l = {})",
+        dataset.name,
+        dataset.len(),
+        dataset.dim(),
+        dataset.n_classes
+    );
+    println!(
+        "device:  {} | kernel: {kind} (sigma = {sigma}) | precision: {precision} ({:.3e} slots)",
+        device.name,
+        device.memory_slots(precision)
+    );
     println!();
-    println!("Step 1   m^C_G = {}   m^S_G = {}   m = {}", params.capacity_batch, params.memory_batch, params.m);
-    println!("Step 2   q(Eq.7) = {}   adjusted q = {}   s = {}", params.q, params.adjusted_q, params.s);
+    println!(
+        "Step 1   m^C_G = {}   m^S_G = {}   m = {}",
+        params.capacity_batch, params.memory_batch, params.m
+    );
+    println!(
+        "Step 2   q(Eq.7) = {}   adjusted q = {}   s = {}",
+        params.q, params.adjusted_q, params.s
+    );
     println!("Step 3   eta = {:.2}", params.eta);
     println!();
-    println!("m*(k)   = {:.2}   (beta = {:.3}, lambda1 = {:.5})", params.m_star, params.beta, params.lambda1);
-    println!("m*(k_G) = {:.0}   (beta_G = {:.3}, lambda1_G = {:.6})", params.m_star_g, params.beta_g, params.lambda1_g);
-    println!("predicted acceleration (Appendix C): {:.0}x", params.acceleration);
+    println!(
+        "m*(k)   = {:.2}   (beta = {:.3}, lambda1 = {:.5})",
+        params.m_star, params.beta, params.lambda1
+    );
+    println!(
+        "m*(k_G) = {:.0}   (beta_G = {:.3}, lambda1_G = {:.6})",
+        params.m_star_g, params.beta_g, params.lambda1_g
+    );
+    println!(
+        "predicted acceleration (Appendix C): {:.0}x",
+        params.acceleration
+    );
     Ok(())
 }
 
@@ -196,7 +242,12 @@ fn eval_model(parsed: &Parsed) -> Result<(), String> {
         model.n_centers(),
         model.n_outputs()
     );
-    println!("evaluated on {} ({} rows): error {:.2}%", dataset.name, dataset.len(), err * 100.0);
+    println!(
+        "evaluated on {} ({} rows): error {:.2}%",
+        dataset.name,
+        dataset.len(),
+        err * 100.0
+    );
     Ok(())
 }
 
@@ -212,7 +263,11 @@ fn train(parsed: &Parsed) -> Result<(), String> {
     }
     let train_n = ((dataset.len() as f64) * (1.0 - test_frac)).round() as usize;
     let (train_set, test_set) = dataset.split_at(train_n.clamp(1, dataset.len()));
-    let val = if test_set.is_empty() { None } else { Some(&test_set) };
+    let val = if test_set.is_empty() {
+        None
+    } else {
+        Some(&test_set)
+    };
 
     let config = TrainConfig {
         kernel: kind,
@@ -230,6 +285,7 @@ fn train(parsed: &Parsed) -> Result<(), String> {
         target_train_mse: None,
         target_val_error: None,
         device_mode: DeviceMode::ActualGpu,
+        precision: load_precision(parsed)?,
         seed: parsed.get_or("seed", 0)?,
     };
     let outcome = EigenPro2::new(config, device)
@@ -238,10 +294,11 @@ fn train(parsed: &Parsed) -> Result<(), String> {
 
     let p = &outcome.report.params;
     println!(
-        "{}: n = {} train / {} test | {kind} sigma = {sigma} | m = {}, q = {}, eta = {:.1}",
+        "{}: n = {} train / {} test | {kind} sigma = {sigma} | {} | m = {}, q = {}, eta = {:.1}",
         train_set.name,
         train_set.len(),
         test_set.len(),
+        outcome.report.precision,
         p.m,
         p.adjusted_q,
         p.eta
@@ -257,7 +314,9 @@ fn train(parsed: &Parsed) -> Result<(), String> {
             ),
             None => println!(
                 "epoch {:>3}  train mse {:.3e}  (sim {:.1} ms)",
-                e.epoch, e.train_mse, e.simulated_seconds * 1e3
+                e.epoch,
+                e.train_mse,
+                e.simulated_seconds * 1e3
             ),
         }
     }
@@ -299,15 +358,34 @@ mod tests {
 
     #[test]
     fn plan_small_dataset() {
-        let p = parsed(&["plan", "--dataset", "susy-like", "--n", "300", "--sigma", "4", "--s", "120"]);
+        let p = parsed(&[
+            "plan",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "300",
+            "--sigma",
+            "4",
+            "--s",
+            "120",
+        ]);
         assert!(run(&p).is_ok());
     }
 
     #[test]
     fn train_small_dataset() {
         let p = parsed(&[
-            "train", "--dataset", "susy-like", "--n", "300", "--sigma", "4", "--s", "100",
-            "--epochs", "2",
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "300",
+            "--sigma",
+            "4",
+            "--s",
+            "100",
+            "--epochs",
+            "2",
         ]);
         assert!(run(&p).is_ok());
     }
@@ -326,14 +404,41 @@ mod tests {
         let path = dir.join("cli_model.ep2m");
         let path_s = path.to_string_lossy().to_string();
         let p = parsed(&[
-            "train", "--dataset", "susy-like", "--n", "200", "--sigma", "4", "--s", "80",
-            "--epochs", "1", "--save", &path_s,
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "200",
+            "--sigma",
+            "4",
+            "--s",
+            "80",
+            "--epochs",
+            "1",
+            "--save",
+            &path_s,
         ]);
         assert!(run(&p).is_ok());
-        let e = parsed(&["eval", "--model", &path_s, "--dataset", "susy-like", "--n", "100"]);
+        let e = parsed(&[
+            "eval",
+            "--model",
+            &path_s,
+            "--dataset",
+            "susy-like",
+            "--n",
+            "100",
+        ]);
         assert!(run(&e).is_ok());
         // Dimension mismatch is caught.
-        let bad = parsed(&["eval", "--model", &path_s, "--dataset", "mnist-like", "--n", "50"]);
+        let bad = parsed(&[
+            "eval",
+            "--model",
+            &path_s,
+            "--dataset",
+            "mnist-like",
+            "--n",
+            "50",
+        ]);
         assert!(run(&bad).is_err());
         std::fs::remove_file(&path).ok();
     }
@@ -344,7 +449,66 @@ mod tests {
     }
 
     #[test]
+    fn train_with_each_precision_succeeds() {
+        for precision in ["f32", "f64", "mixed"] {
+            let p = parsed(&[
+                "train",
+                "--dataset",
+                "susy-like",
+                "--n",
+                "200",
+                "--sigma",
+                "4",
+                "--s",
+                "80",
+                "--epochs",
+                "1",
+                "--precision",
+                precision,
+            ]);
+            assert!(run(&p).is_ok(), "--precision {precision} failed");
+        }
+        let bad = parsed(&[
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "100",
+            "--precision",
+            "bf16",
+        ]);
+        assert!(run(&bad).is_err());
+    }
+
+    #[test]
+    fn plan_accepts_precision() {
+        let p = parsed(&[
+            "plan",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "300",
+            "--sigma",
+            "4",
+            "--s",
+            "120",
+            "--precision",
+            "f32",
+        ]);
+        assert!(run(&p).is_ok());
+    }
+
+    #[test]
     fn rejects_bad_test_frac() {
-        assert!(run(&parsed(&["train", "--dataset", "susy-like", "--n", "100", "--test-frac", "1.5"])).is_err());
+        assert!(run(&parsed(&[
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "100",
+            "--test-frac",
+            "1.5"
+        ]))
+        .is_err());
     }
 }

@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use ep2_device::{batch, ResourceSpec};
+use ep2_device::{batch, Precision, ResourceSpec};
 use ep2_kernels::Kernel;
-use ep2_linalg::Matrix;
+use ep2_linalg::{Matrix, Scalar};
 
 use crate::acceleration::acceleration_factor;
 use crate::critical;
@@ -79,7 +79,12 @@ pub struct AutoParams {
 ///
 /// `s_override` / `q_override` replace the defaults (paper-rule `s`,
 /// adjusted Eq.-(7) `q`); `m_override` replaces `m^max_G` (used by the
-/// batch-size-sweep figures).
+/// batch-size-sweep figures). `precision` feeds Step 1's memory accounting
+/// (`ResourceSpec::memory_slots`): under `Precision::F32`/`Mixed` the
+/// memory-limited batch is the paper's f32 value, under `Precision::F64`
+/// every resident element costs two reference slots. Bulk numeric work
+/// (kernel assembly, eigenvector storage, β/λ probes) runs in `S`; all
+/// reported parameters are `f64` (spectral scalars).
 ///
 /// Returns the parameter record and the fitted [`Preconditioner`]
 /// (`None` when `q == 0`, i.e. the original kernel already saturates the
@@ -92,16 +97,17 @@ pub struct AutoParams {
 // names them at the call site, and a builder would obscure the 1:1 mapping
 // onto the paper's Step-1/2 knobs.
 #[allow(clippy::too_many_arguments)]
-pub fn plan(
-    kernel: &Arc<dyn Kernel>,
-    train_x: &Matrix,
+pub fn plan<S: Scalar>(
+    kernel: &Arc<dyn Kernel<S>>,
+    train_x: &Matrix<S>,
     n_labels: usize,
     device: &ResourceSpec,
     s_override: Option<usize>,
     q_override: Option<usize>,
     m_override: Option<usize>,
+    precision: Precision,
     seed: u64,
-) -> Result<(AutoParams, Option<Preconditioner>), CoreError> {
+) -> Result<(AutoParams, Option<Preconditioner<S>>), CoreError> {
     let n = train_x.rows();
     let d = train_x.cols();
     if n == 0 {
@@ -110,18 +116,22 @@ pub fn plan(
         });
     }
 
-    // Step 1: resource-saturating batch size.
-    let plan = batch::max_batch(device, n, d, n_labels);
+    // Step 1: resource-saturating batch size under the chosen precision.
+    let plan = batch::max_batch_with(device, n, d, n_labels, precision);
     let m = m_override.unwrap_or(plan.batch).clamp(1, n);
 
     // Step 2: subsample eigensystem and the Eq.-(7) / adjusted q.
-    let s = s_override.unwrap_or_else(|| default_subsample_size(n)).clamp(1, n);
+    let s = s_override
+        .unwrap_or_else(|| default_subsample_size(n))
+        .clamp(1, n);
     // Ask for a generous top block so the iterative solver (s > 2048) still
     // supports the adjusted q; the dense path returns the full spectrum.
-    let top_request = q_override.map(|q| q + 1).unwrap_or_else(|| (s / 8).max(64).min(s));
+    let top_request = q_override
+        .map(|q| q + 1)
+        .unwrap_or_else(|| (s / 8).max(64).min(s));
     let eig = SubsampleEigens::compute(kernel, train_x, s, top_request, seed)?;
 
-    let beta = kernel.as_ref().of_sq_dist(0.0); // = 1 for normalised kernels
+    let beta = kernel.as_ref().of_sq_dist(S::ZERO).to_f64(); // = 1 for normalised kernels
     let lambda1 = eig.lambda(0);
     let m_star = critical::critical_batch(beta, lambda1);
 
@@ -137,7 +147,8 @@ pub fn plan(
     let (precond, beta_g, lambda1_g) = if adjusted_q == 0 {
         (None, beta, lambda1)
     } else {
-        let p = Preconditioner::from_eigens_damped(eig, adjusted_q, crate::precond::DEFAULT_DAMPING)?;
+        let p =
+            Preconditioner::from_eigens_damped(eig, adjusted_q, crate::precond::DEFAULT_DAMPING)?;
         let beta_g = p.beta_estimate(kernel, train_x, BETA_SAMPLE, seed);
         // The analytic λ₁(K_G) assumes exact Nyström eigenfunctions; the
         // power-iteration probe additionally captures estimation leakage in
@@ -197,7 +208,18 @@ mod tests {
     fn plan_produces_consistent_parameters() {
         let x = clustered_data(400, 8, 3);
         let device = ResourceSpec::scaled_virtual_gpu();
-        let (params, precond) = plan(&kernel(), &x, 10, &device, Some(200), None, None, 7).unwrap();
+        let (params, precond) = plan(
+            &kernel(),
+            &x,
+            10,
+            &device,
+            Some(200),
+            None,
+            None,
+            Precision::F64,
+            7,
+        )
+        .unwrap();
         assert!(params.m >= 1 && params.m <= 400);
         assert_eq!(params.s, 200);
         assert!(params.adjusted_q >= params.q);
@@ -218,7 +240,18 @@ mod tests {
         // small, less than 10".
         let x = clustered_data(300, 8, 5);
         let device = ResourceSpec::scaled_virtual_gpu();
-        let (params, _) = plan(&kernel(), &x, 10, &device, Some(150), None, None, 2).unwrap();
+        let (params, _) = plan(
+            &kernel(),
+            &x,
+            10,
+            &device,
+            Some(150),
+            None,
+            None,
+            Precision::F64,
+            2,
+        )
+        .unwrap();
         assert!(params.m_star < 15.0, "m*(k) = {}", params.m_star);
         // And the adaptive kernel's critical batch reaches (≈) m.
         assert!(params.m_star_g > params.m_star);
@@ -228,8 +261,18 @@ mod tests {
     fn q_override_respected() {
         let x = clustered_data(200, 6, 9);
         let device = ResourceSpec::scaled_virtual_gpu();
-        let (params, precond) =
-            plan(&kernel(), &x, 5, &device, Some(100), Some(7), None, 1).unwrap();
+        let (params, precond) = plan(
+            &kernel(),
+            &x,
+            5,
+            &device,
+            Some(100),
+            Some(7),
+            None,
+            Precision::F64,
+            1,
+        )
+        .unwrap();
         assert_eq!(params.adjusted_q, 7);
         assert_eq!(precond.unwrap().q(), 7);
     }
@@ -238,10 +281,30 @@ mod tests {
     fn m_override_respected_and_step_size_scales() {
         let x = clustered_data(200, 6, 11);
         let device = ResourceSpec::scaled_virtual_gpu();
-        let (p_small, _) =
-            plan(&kernel(), &x, 5, &device, Some(100), Some(5), Some(4), 1).unwrap();
-        let (p_big, _) =
-            plan(&kernel(), &x, 5, &device, Some(100), Some(5), Some(100), 1).unwrap();
+        let (p_small, _) = plan(
+            &kernel(),
+            &x,
+            5,
+            &device,
+            Some(100),
+            Some(5),
+            Some(4),
+            Precision::F64,
+            1,
+        )
+        .unwrap();
+        let (p_big, _) = plan(
+            &kernel(),
+            &x,
+            5,
+            &device,
+            Some(100),
+            Some(5),
+            Some(100),
+            Precision::F64,
+            1,
+        )
+        .unwrap();
         assert_eq!(p_small.m, 4);
         assert_eq!(p_big.m, 100);
         // Larger batch → larger step size (linear scaling regime; the exact
@@ -253,7 +316,18 @@ mod tests {
     fn empty_data_rejected() {
         let x = Matrix::zeros(0, 3);
         let device = ResourceSpec::scaled_virtual_gpu();
-        assert!(plan(&kernel(), &x, 2, &device, None, None, None, 1).is_err());
+        assert!(plan(
+            &kernel(),
+            &x,
+            2,
+            &device,
+            None,
+            None,
+            None,
+            Precision::F64,
+            1
+        )
+        .is_err());
     }
 
     #[test]

@@ -90,7 +90,10 @@ pub fn adjust_q(spectrum: &[f64], s: usize, q_eq7: usize, rel_floor: f64) -> usi
 /// Panics if `m == 0`, `beta <= 0`, or `lambda1 <= 0`.
 pub fn optimal_step_size(m: usize, beta: f64, lambda1: f64) -> f64 {
     assert!(m > 0, "m must be positive");
-    assert!(beta > 0.0 && lambda1 > 0.0, "beta and lambda1 must be positive");
+    assert!(
+        beta > 0.0 && lambda1 > 0.0,
+        "beta and lambda1 must be positive"
+    );
     m as f64 / (beta + (m as f64 - 1.0) * lambda1)
 }
 
@@ -193,8 +196,8 @@ mod tests {
     fn rate_improves_linearly_below_mstar_saturates_after() {
         let (beta, l1, ln) = (1.0, 0.25, 1e-4);
         let m_star = critical_batch(beta, l1) as usize; // 4
-        // Below m*: speedup grows with m and tracks the theory's
-        // m / (1 + (m−1)λ₁/β) "near-linear" curve.
+                                                        // Below m*: speedup grows with m and tracks the theory's
+                                                        // m / (1 + (m−1)λ₁/β) "near-linear" curve.
         let mut prev = 0.0;
         for m in 1..=m_star {
             let s = speedup_over_single(m, beta, l1, ln);

@@ -264,8 +264,7 @@ mod tests {
         let time_for = |g: usize| {
             // Free, zero-latency link isolates the compute scaling (at toy
             // n the real link cost would dominate nanosecond compute).
-            let cluster =
-                ClusterSpec::new(ep2_device::ResourceSpec::titan_xp(), g, 1e30, 0.0);
+            let cluster = ClusterSpec::new(ep2_device::ResourceSpec::titan_xp(), g, 1e30, 0.0);
             let mut it = DistributedEigenProIteration::new(
                 KernelModel::zeros(k.clone(), x.clone(), 2),
                 None,

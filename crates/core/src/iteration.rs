@@ -14,29 +14,33 @@
 //! kernel SGD (randomized coordinate descent for `Kα = y`), which is how
 //! the SGD baseline and Figure-2/3 comparisons run on identical code paths.
 
-use ep2_linalg::Matrix;
+use ep2_linalg::{Matrix, Scalar};
 
 use crate::counter::FlopCounter;
 use crate::model::KernelModel;
 use crate::precond::Preconditioner;
 
 /// One training-iteration driver over a [`KernelModel`] whose centers are
-/// the training set.
+/// the training set, generic over the numeric precision `S`.
+///
+/// The step size `η` is kept in `f64` regardless of `S` — it is an analytic
+/// spectral quantity (see `ep2_device::Precision`) — and converted to `S`
+/// once per step when scaling the residual.
 #[derive(Debug)]
-pub struct EigenProIteration {
-    model: KernelModel,
-    precond: Option<Preconditioner>,
+pub struct EigenProIteration<S: Scalar = f64> {
+    model: KernelModel<S>,
+    precond: Option<Preconditioner<S>>,
     eta: f64,
     counter: FlopCounter,
 }
 
-impl EigenProIteration {
+impl<S: Scalar> EigenProIteration<S> {
     /// Creates the driver. Pass `precond: None` for plain mini-batch SGD.
     ///
     /// # Panics
     ///
     /// Panics if `eta` is not positive and finite.
-    pub fn new(model: KernelModel, precond: Option<Preconditioner>, eta: f64) -> Self {
+    pub fn new(model: KernelModel<S>, precond: Option<Preconditioner<S>>, eta: f64) -> Self {
         assert!(eta > 0.0 && eta.is_finite(), "step size must be positive");
         EigenProIteration {
             model,
@@ -47,18 +51,18 @@ impl EigenProIteration {
     }
 
     /// The model being trained.
-    pub fn model(&self) -> &KernelModel {
+    pub fn model(&self) -> &KernelModel<S> {
         &self.model
     }
 
     /// Mutable access to the model (used by the trainer's divergence
     /// safeguard to reset weights).
-    pub fn model_mut(&mut self) -> &mut KernelModel {
+    pub fn model_mut(&mut self) -> &mut KernelModel<S> {
         &mut self.model
     }
 
     /// Consumes the driver and returns the trained model.
-    pub fn into_model(self) -> KernelModel {
+    pub fn into_model(self) -> KernelModel<S> {
         self.model
     }
 
@@ -92,7 +96,7 @@ impl EigenProIteration {
     /// # Panics
     ///
     /// Panics if any batch index is out of range or `y` has wrong shape.
-    pub fn step(&mut self, batch_indices: &[usize], y: &Matrix) -> f64 {
+    pub fn step(&mut self, batch_indices: &[usize], y: &Matrix<S>) -> f64 {
         let n = self.model.n_centers();
         let l = self.model.n_outputs();
         let d = self.model.dim();
@@ -104,8 +108,11 @@ impl EigenProIteration {
         // Step 2: predictions on the mini-batch. Assemble the m x n kernel
         // block once; its subsample columns double as the feature map Φ.
         let batch_x = self.model.centers().select_rows(batch_indices);
-        let k_block =
-            ep2_kernels::matrix::kernel_cross(self.model.kernel().as_ref(), &batch_x, self.model.centers());
+        let k_block = ep2_kernels::matrix::kernel_cross(
+            self.model.kernel().as_ref(),
+            &batch_x,
+            self.model.centers(),
+        );
         let f = self.model.predict_from_kernel_block(&k_block);
 
         // Residual G = f − y on the batch.
@@ -117,7 +124,7 @@ impl EigenProIteration {
             }
         }
 
-        let scale = self.eta * 2.0 / m as f64;
+        let scale = S::from_f64(self.eta * 2.0 / m as f64);
 
         // Step 3: update the sampled coordinate block.
         for (bi, &idx) in batch_indices.iter().enumerate() {
@@ -137,7 +144,7 @@ impl EigenProIteration {
             // Φ: gather the subsample columns of the batch kernel block
             // (k(x_r_j, x_t_i) already computed in Step 2).
             let sub_idx = precond.subsample_indices();
-            let mut phi = Matrix::zeros(m, s);
+            let mut phi: Matrix<S> = Matrix::zeros(m, s);
             for bi in 0..m {
                 let src = k_block.row(bi);
                 let dst = phi.row_mut(bi);

@@ -1,31 +1,35 @@
-//! The kernel predictor `f(x) = Σ_i α_i k(x_i, x)`.
+//! The kernel predictor `f(x) = Σ_i α_i k(x_i, x)`, generic over the
+//! numeric precision `S`.
 
 use std::sync::Arc;
 
-use ep2_kernels::{matrix as kmat, Kernel};
-use ep2_linalg::{blas, Matrix};
+use ep2_kernels::{matrix as kmat, Kernel, KernelKind};
+use ep2_linalg::{blas, Matrix, Scalar};
 
 /// A kernel machine: training points as centers plus an `n x l` weight
-/// matrix `α`.
+/// matrix `α`, with all buffers stored in precision `S` (default `f64`).
 ///
 /// Both EigenPro 2.0 and every baseline (plain SGD, EigenPro 1, FALKON's
 /// Nyström-restricted variant, the direct solver) produce predictions
 /// through this type, so evaluation code is shared and comparisons are
-/// apples-to-apples.
+/// apples-to-apples. Under the f32/mixed precision policies the centers,
+/// weights, and transient kernel blocks are all f32 — half the resident
+/// memory the device ledger charges, and the memory-bound prediction GEMM
+/// runs correspondingly faster.
 #[derive(Debug, Clone)]
-pub struct KernelModel {
-    kernel: Arc<dyn Kernel>,
-    centers: Matrix,
-    weights: Matrix,
+pub struct KernelModel<S: Scalar = f64> {
+    kernel: Arc<dyn Kernel<S>>,
+    centers: Matrix<S>,
+    weights: Matrix<S>,
 }
 
-impl KernelModel {
+impl<S: Scalar> KernelModel<S> {
     /// Creates a model with zero weights over the given centers.
     ///
     /// # Panics
     ///
     /// Panics if `centers` is empty or `l == 0`.
-    pub fn zeros(kernel: Arc<dyn Kernel>, centers: Matrix, l: usize) -> Self {
+    pub fn zeros(kernel: Arc<dyn Kernel<S>>, centers: Matrix<S>, l: usize) -> Self {
         assert!(centers.rows() > 0, "model needs at least one center");
         assert!(l > 0, "label dimension must be positive");
         let weights = Matrix::zeros(centers.rows(), l);
@@ -41,7 +45,11 @@ impl KernelModel {
     /// # Panics
     ///
     /// Panics if `weights.rows() != centers.rows()`.
-    pub fn from_weights(kernel: Arc<dyn Kernel>, centers: Matrix, weights: Matrix) -> Self {
+    pub fn from_weights(
+        kernel: Arc<dyn Kernel<S>>,
+        centers: Matrix<S>,
+        weights: Matrix<S>,
+    ) -> Self {
         assert_eq!(weights.rows(), centers.rows(), "weights/centers mismatch");
         KernelModel {
             kernel,
@@ -66,24 +74,46 @@ impl KernelModel {
     }
 
     /// The kernel in use.
-    pub fn kernel(&self) -> &Arc<dyn Kernel> {
+    pub fn kernel(&self) -> &Arc<dyn Kernel<S>> {
         &self.kernel
     }
 
     /// The center matrix (training features).
-    pub fn centers(&self) -> &Matrix {
+    pub fn centers(&self) -> &Matrix<S> {
         &self.centers
     }
 
     /// The weight matrix `α` (`n x l`).
-    pub fn weights(&self) -> &Matrix {
+    pub fn weights(&self) -> &Matrix<S> {
         &self.weights
     }
 
     /// Mutable access to the weights — the coordinate blocks Algorithm 1
     /// updates.
-    pub fn weights_mut(&mut self) -> &mut Matrix {
+    pub fn weights_mut(&mut self) -> &mut Matrix<S> {
         &mut self.weights
+    }
+
+    /// Converts the model to another precision.
+    ///
+    /// The kernel object is re-instantiated from its named family at the
+    /// same bandwidth, so this only works for the named kernels
+    /// (`KernelKind::parse(self.kernel().name())` must succeed) — true for
+    /// every kernel this workspace constructs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel is a custom (unnamed) implementation.
+    pub fn cast<T: Scalar>(&self) -> KernelModel<T> {
+        let kind = KernelKind::parse(self.kernel.name())
+            .unwrap_or_else(|| panic!("cannot cast custom kernel {}", self.kernel.name()));
+        let kernel: Arc<dyn Kernel<T>> =
+            kind.with_bandwidth_in::<T>(self.kernel.bandwidth()).into();
+        KernelModel {
+            kernel,
+            centers: self.centers.cast(),
+            weights: self.weights.cast(),
+        }
     }
 
     /// Predicts `f(x)` for every row of `x`, returning an
@@ -93,7 +123,7 @@ impl KernelModel {
     /// # Panics
     ///
     /// Panics if `x.cols() != self.dim()`.
-    pub fn predict(&self, x: &Matrix) -> Matrix {
+    pub fn predict(&self, x: &Matrix<S>) -> Matrix<S> {
         self.predict_blocked(x, 1024)
     }
 
@@ -102,7 +132,7 @@ impl KernelModel {
     /// # Panics
     ///
     /// Panics if `x.cols() != self.dim()` or `block_rows == 0`.
-    pub fn predict_blocked(&self, x: &Matrix, block_rows: usize) -> Matrix {
+    pub fn predict_blocked(&self, x: &Matrix<S>, block_rows: usize) -> Matrix<S> {
         assert_eq!(x.cols(), self.dim(), "predict: feature dim mismatch");
         assert!(block_rows > 0, "block_rows must be positive");
         let m = x.rows();
@@ -115,7 +145,7 @@ impl KernelModel {
             // K_block: rows x n, then f = K_block · α.
             let k_block = kmat::kernel_cross(self.kernel.as_ref(), &block, &self.centers);
             let mut f_block = Matrix::zeros(rows, l);
-            blas::gemm(1.0, &k_block, &self.weights, 0.0, &mut f_block);
+            blas::gemm(S::ONE, &k_block, &self.weights, S::ZERO, &mut f_block);
             for i in 0..rows {
                 out.row_mut(row0 + i).copy_from_slice(f_block.row(i));
             }
@@ -131,10 +161,14 @@ impl KernelModel {
     /// # Panics
     ///
     /// Panics if `k_block.cols() != self.n_centers()`.
-    pub fn predict_from_kernel_block(&self, k_block: &Matrix) -> Matrix {
-        assert_eq!(k_block.cols(), self.n_centers(), "kernel block width mismatch");
+    pub fn predict_from_kernel_block(&self, k_block: &Matrix<S>) -> Matrix<S> {
+        assert_eq!(
+            k_block.cols(),
+            self.n_centers(),
+            "kernel block width mismatch"
+        );
         let mut f = Matrix::zeros(k_block.rows(), self.n_outputs());
-        blas::gemm(1.0, k_block, &self.weights, 0.0, &mut f);
+        blas::gemm(S::ONE, k_block, &self.weights, S::ZERO, &mut f);
         f
     }
 }
@@ -174,7 +208,9 @@ mod tests {
     fn blocked_prediction_matches_unblocked() {
         let mut m = toy_model();
         // Set some nonzero weights.
-        m.weights_mut().as_mut_slice().copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
+        m.weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
         let x = Matrix::from_fn(10, 2, |i, j| (i as f64) * 0.3 - (j as f64) * 0.1);
         let a = m.predict_blocked(&x, 3);
         let b = m.predict_blocked(&x, 100);
@@ -194,6 +230,27 @@ mod tests {
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((u - v).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn cast_preserves_predictions_to_single_eps() {
+        let mut m = toy_model();
+        m.weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
+        let m32: KernelModel<f32> = m.cast();
+        assert_eq!(m32.kernel().name(), "gaussian");
+        assert_eq!(m32.kernel().bandwidth(), 1.0);
+        let x = Matrix::from_fn(6, 2, |i, j| (i as f64) * 0.4 - (j as f64) * 0.2);
+        let p64 = m.predict(&x);
+        let p32 = m32.predict(&x.cast());
+        for (a, b) in p32.as_slice().iter().zip(p64.as_slice()) {
+            assert!((*a as f64 - b).abs() < 1e-5);
+        }
+        // Round-trip back to f64 keeps shapes and kernel identity.
+        let back: KernelModel = m32.cast();
+        assert_eq!(back.n_centers(), 3);
+        assert_eq!(back.n_outputs(), 2);
     }
 
     #[test]

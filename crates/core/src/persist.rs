@@ -41,7 +41,9 @@ pub fn to_bytes(model: &KernelModel) -> Result<Bytes, CoreError> {
     let kernel = model.kernel();
     let name = kernel.name();
     if KernelKind::parse(name).is_none() {
-        return Err(err(format!("kernel {name} is not a named family; cannot persist")));
+        return Err(err(format!(
+            "kernel {name} is not a named family; cannot persist"
+        )));
     }
     let (n, d, l) = (model.n_centers(), model.dim(), model.n_outputs());
     let mut buf = BytesMut::with_capacity(4 + 4 + 2 + name.len() + 8 * (3 + n * d + n * l) + 8);

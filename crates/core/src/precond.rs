@@ -1,4 +1,5 @@
-//! The Nyström EigenPro preconditioner (Section 4 of the paper).
+//! The Nyström EigenPro preconditioner (Section 4 of the paper), generic
+//! over the training precision `S`.
 //!
 //! The improved EigenPro iteration approximates the top-`q` eigensystem of
 //! the kernel operator from a *subsample* kernel matrix
@@ -18,11 +19,20 @@
 //! Algorithm 1 writes `σ_q` — using the next eigenvalue matches the
 //! reference EigenPro implementation and makes `λ₁(K_G) = σ_{q+1}/s` exact;
 //! by Remark 3.1 the off-by-one is immaterial).
+//!
+//! **Precision split.** Bulk data — subsample centers, eigen*vectors*, the
+//! feature maps and corrections they multiply — lives in `S` (that is the
+//! per-iteration hot path). Eigen*values*, the damping diagonal `D`, and
+//! every derived spectral quantity (`λ₁`, `β`, probe estimates) are carried
+//! in `f64` regardless of `S`: they are `O(q)` scalars that feed the
+//! analytic step size, where f32 rounding would be structural error rather
+//! than noise. Eigensolves always run in `f64` internally
+//! (`ep2_linalg::eigen::sym_eig_f64`).
 
 use std::sync::Arc;
 
 use ep2_kernels::{matrix as kmat, Kernel};
-use ep2_linalg::{blas, eigen, subspace, Matrix, SymOp};
+use ep2_linalg::{blas, eigen, subspace, Matrix, Scalar};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -36,20 +46,21 @@ const DENSE_EIG_THRESHOLD: usize = 2048;
 /// The eigensystem of a subsample kernel matrix: the raw material for both
 /// the preconditioner and the Eq.-(7) choice of `q`.
 #[derive(Debug, Clone)]
-pub struct SubsampleEigens {
+pub struct SubsampleEigens<S: Scalar = f64> {
     /// Indices of the `s` subsampled training rows (the "fixed coordinate
     /// block" of Algorithm 1).
     pub indices: Vec<usize>,
     /// The `s x d` subsample feature matrix.
-    pub centers: Matrix,
+    pub centers: Matrix<S>,
     /// Eigenvalues `σ_1 ≥ σ_2 ≥ …` of `K_s` (all `s` when the dense solver
-    /// ran, the requested top block otherwise).
+    /// ran, the requested top block otherwise) — always `f64`.
     pub values: Vec<f64>,
-    /// Orthonormal eigenvectors (`s x values.len()`).
-    pub vectors: Matrix,
+    /// Orthonormal eigenvectors (`s x values.len()`), stored in `S` for the
+    /// hot-path GEMMs.
+    pub vectors: Matrix<S>,
 }
 
-impl SubsampleEigens {
+impl<S: Scalar> SubsampleEigens<S> {
     /// Subsamples `s` rows of `x` (without replacement, seeded) and
     /// computes the eigensystem of their kernel matrix.
     ///
@@ -62,8 +73,8 @@ impl SubsampleEigens {
     /// Returns [`CoreError::InvalidConfig`] if `s == 0` or `s > n`, and
     /// propagates eigensolver failures.
     pub fn compute(
-        kernel: &Arc<dyn Kernel>,
-        x: &Matrix,
+        kernel: &Arc<dyn Kernel<S>>,
+        x: &Matrix<S>,
         s: usize,
         top: usize,
         seed: u64,
@@ -82,15 +93,17 @@ impl SubsampleEigens {
         let centers = x.select_rows(&indices);
         let ks = kmat::kernel_matrix(kernel.as_ref(), &centers);
         let (values, vectors) = if s <= DENSE_EIG_THRESHOLD {
-            let dec = eigen::sym_eig(&ks)?;
-            (dec.values, dec.vectors)
+            // Dense path: solve in f64 (the Accum contract), keep vectors
+            // in the training precision for the hot-path GEMMs.
+            let dec = eigen::sym_eig_f64(&ks)?;
+            (dec.values, dec.vectors.cast::<S>())
         } else {
             let top = top.clamp(1, s);
             let cfg = subspace::SubspaceConfig {
                 seed,
                 ..subspace::SubspaceConfig::default()
             };
-            let (vals, vecs) = subspace::top_q_eig(&ks as &dyn SymOp, top, &cfg)?;
+            let (vals, vecs) = subspace::top_q_eig(&ks, top, &cfg)?;
             (vals, vecs)
         };
         Ok(SubsampleEigens {
@@ -115,6 +128,17 @@ impl SubsampleEigens {
     pub fn lambda(&self, i: usize) -> f64 {
         self.values[i] / self.s() as f64
     }
+
+    /// Converts the bulk buffers to another precision (eigenvalues are
+    /// already precision-independent `f64`).
+    pub fn cast<T: Scalar>(&self) -> SubsampleEigens<T> {
+        SubsampleEigens {
+            indices: self.indices.clone(),
+            centers: self.centers.cast(),
+            values: self.values.clone(),
+            vectors: self.vectors.cast(),
+        }
+    }
 }
 
 /// Default damping exponent `α` (see [`Preconditioner::from_eigens_damped`])
@@ -123,18 +147,18 @@ pub const DEFAULT_DAMPING: f64 = 0.95;
 
 /// The fitted EigenPro preconditioner `P_q`.
 #[derive(Debug, Clone)]
-pub struct Preconditioner {
-    eig: SubsampleEigens,
+pub struct Preconditioner<S: Scalar = f64> {
+    eig: SubsampleEigens<S>,
     q: usize,
     /// Damping target `τ = σ_{q+1}`.
     tail: f64,
     /// Damping exponent `α ∈ (0, 1]`; 1 is the paper's exact formula.
     alpha: f64,
-    /// `D_jj = (1 − (τ/σ_j)^α)/σ_j` for `j < q`.
+    /// `D_jj = (1 − (τ/σ_j)^α)/σ_j` for `j < q` — always `f64`.
     d_diag: Vec<f64>,
 }
 
-impl Preconditioner {
+impl<S: Scalar> Preconditioner<S> {
     /// Builds the paper-exact `P_q` (damping exponent `α = 1`) from a
     /// precomputed subsample eigensystem.
     ///
@@ -142,7 +166,7 @@ impl Preconditioner {
     ///
     /// Returns [`CoreError::InvalidConfig`] if fewer than `q + 1` eigenpairs
     /// are available or the `(q+1)`-th eigenvalue is not positive.
-    pub fn from_eigens(eig: SubsampleEigens, q: usize) -> Result<Self, CoreError> {
+    pub fn from_eigens(eig: SubsampleEigens<S>, q: usize) -> Result<Self, CoreError> {
         Preconditioner::from_eigens_damped(eig, q, 1.0)
     }
 
@@ -162,7 +186,7 @@ impl Preconditioner {
     /// are available, the `(q+1)`-th eigenvalue is not positive, or
     /// `alpha ∉ (0, 1]`.
     pub fn from_eigens_damped(
-        eig: SubsampleEigens,
+        eig: SubsampleEigens<S>,
         q: usize,
         alpha: f64,
     ) -> Result<Self, CoreError> {
@@ -208,8 +232,8 @@ impl Preconditioner {
     /// Propagates [`SubsampleEigens::compute`] and
     /// [`Preconditioner::from_eigens`] failures.
     pub fn fit(
-        kernel: &Arc<dyn Kernel>,
-        x: &Matrix,
+        kernel: &Arc<dyn Kernel<S>>,
+        x: &Matrix<S>,
         s: usize,
         q: usize,
         seed: u64,
@@ -225,8 +249,8 @@ impl Preconditioner {
     /// Propagates [`SubsampleEigens::compute`] and
     /// [`Preconditioner::from_eigens_damped`] failures.
     pub fn fit_damped(
-        kernel: &Arc<dyn Kernel>,
-        x: &Matrix,
+        kernel: &Arc<dyn Kernel<S>>,
+        x: &Matrix<S>,
         s: usize,
         q: usize,
         alpha: f64,
@@ -234,6 +258,20 @@ impl Preconditioner {
     ) -> Result<Self, CoreError> {
         let eig = SubsampleEigens::compute(kernel, x, s, q + 1, seed)?;
         Preconditioner::from_eigens_damped(eig, q, alpha)
+    }
+
+    /// Converts the preconditioner's bulk buffers to another precision.
+    /// Spectral scalars (`σ`, `τ`, `D`, `α`) are `f64` on both sides, so
+    /// `Mixed` training can plan at f64 and execute at f32 with *identical*
+    /// analytic parameters.
+    pub fn cast<T: Scalar>(&self) -> Preconditioner<T> {
+        Preconditioner {
+            eig: self.eig.cast(),
+            q: self.q,
+            tail: self.tail,
+            alpha: self.alpha,
+            d_diag: self.d_diag.clone(),
+        }
     }
 
     /// Spectral truncation level `q`.
@@ -247,7 +285,7 @@ impl Preconditioner {
     }
 
     /// The underlying subsample eigensystem.
-    pub fn eigens(&self) -> &SubsampleEigens {
+    pub fn eigens(&self) -> &SubsampleEigens<S> {
         &self.eig
     }
 
@@ -279,8 +317,9 @@ impl Preconditioner {
 
     /// The adaptive kernel's diagonal `k_G(x, x)` at each row of `points`:
     /// `k(x,x) − Σ_{j<q} (σ_j − τ)/s · (√s · ψ_j(x))²` with the Nyström
-    /// eigenfunctions — used to estimate `β(K_G)`.
-    pub fn precond_diag(&self, kernel: &Arc<dyn Kernel>, points: &Matrix) -> Vec<f64> {
+    /// eigenfunctions — used to estimate `β(K_G)`. The feature-map GEMM runs
+    /// in `S`; the spectral drop accumulates in `f64`.
+    pub fn precond_diag(&self, kernel: &Arc<dyn Kernel<S>>, points: &Matrix<S>) -> Vec<f64> {
         // φ(x) for all points: (points.rows x s).
         let phi = kmat::feature_map(kernel.as_ref(), &self.eig.centers, points);
         // Ψ = φ V diag(1/σ_j): (points.rows x q); column j holds the
@@ -288,14 +327,14 @@ impl Preconditioner {
         // the unit-norm eigenvector entries e_j[i] on the subsample.
         let v_q = self.eig.vectors.submatrix(0, 0, self.s(), self.q);
         let mut psi = Matrix::zeros(points.rows(), self.q);
-        blas::gemm(1.0, &phi, &v_q, 0.0, &mut psi);
+        blas::gemm(S::ONE, &phi, &v_q, S::ZERO, &mut psi);
+        let kxx = kernel.as_ref().of_sq_dist(S::ZERO).to_f64();
         (0..points.rows())
             .map(|i| {
-                let kxx = kernel.as_ref().of_sq_dist(0.0);
-                let mut drop = 0.0;
+                let mut drop = 0.0_f64;
                 for j in 0..self.q {
                     let sigma = self.eig.values[j];
-                    let psi_val = psi[(i, j)] / sigma;
+                    let psi_val = psi[(i, j)].to_f64() / sigma;
                     // Spectral drop σ_j → σ_j (τ/σ_j)^α, i.e. σ_j² D_jj.
                     drop += sigma * sigma * self.d_diag[j] * psi_val * psi_val;
                 }
@@ -316,8 +355,8 @@ impl Preconditioner {
     /// over a broad sample.
     pub fn beta_estimate(
         &self,
-        kernel: &Arc<dyn Kernel>,
-        x: &Matrix,
+        kernel: &Arc<dyn Kernel<S>>,
+        x: &Matrix<S>,
         sample: usize,
         seed: u64,
     ) -> f64 {
@@ -347,16 +386,16 @@ impl Preconditioner {
     /// (the paper: "accurately estimated using the maximum of `k_{P_q}(x,x)`
     /// on a small number of subsamples"). Prefer [`Preconditioner::beta_estimate`]
     /// for step-size selection.
-    pub fn beta_preconditioned(&self, kernel: &Arc<dyn Kernel>) -> f64 {
+    pub fn beta_preconditioned(&self, kernel: &Arc<dyn Kernel<S>>) -> f64 {
         // On the subsample the eigenfunctions are exact (e_j entries), so
         // compute directly from the eigenvectors: k_G(x_i, x_i) =
         // 1 − Σ_j (σ_j − τ) e_j[i]².
-        let kxx = kernel.as_ref().of_sq_dist(0.0);
+        let kxx = kernel.as_ref().of_sq_dist(S::ZERO).to_f64();
         (0..self.s())
             .map(|i| {
-                let mut drop = 0.0;
+                let mut drop = 0.0_f64;
                 for j in 0..self.q {
-                    let e = self.eig.vectors[(i, j)];
+                    let e = self.eig.vectors[(i, j)].to_f64();
                     let sigma = self.eig.values[j];
                     drop += sigma * sigma * self.d_diag[j] * e * e;
                 }
@@ -367,14 +406,15 @@ impl Preconditioner {
 
     /// Applies the correction of Algorithm 1, Step 5:
     /// returns `V D Vᵀ Φᵀ G` (`s x l`) given the feature map `Φ` (`m x s`)
-    /// and the residual `G = f − y` (`m x l`).
+    /// and the residual `G = f − y` (`m x l`). All GEMMs run in `S` — this
+    /// is the per-iteration hot path.
     ///
     /// Cost: `s·m·q + q·m·l + s·q·l` operations — the Table-1 overhead.
     ///
     /// # Panics
     ///
     /// Panics if `phi.cols() != s` or `phi.rows() != residual.rows()`.
-    pub fn apply_correction(&self, phi: &Matrix, residual: &Matrix) -> Matrix {
+    pub fn apply_correction(&self, phi: &Matrix<S>, residual: &Matrix<S>) -> Matrix<S> {
         assert_eq!(phi.cols(), self.s(), "phi width must equal s");
         assert_eq!(phi.rows(), residual.rows(), "phi/residual row mismatch");
         let v_q = self.eig.vectors.submatrix(0, 0, self.s(), self.q);
@@ -382,11 +422,12 @@ impl Preconditioner {
         let t1 = blas::matmul(phi, &v_q);
         // T2 = T1ᵀ G (q x l)
         let mut t2 = Matrix::zeros(self.q, residual.cols());
-        blas::gemm_tn(1.0, &t1, residual, 0.0, &mut t2);
+        blas::gemm_tn(S::ONE, &t1, residual, S::ZERO, &mut t2);
         // T2 <- D T2 (row scaling)
         for (j, &d) in self.d_diag.iter().enumerate() {
+            let d_s = S::from_f64(d);
             for val in t2.row_mut(j) {
-                *val *= d;
+                *val *= d_s;
             }
         }
         // out = V T2 (s x l)
@@ -405,10 +446,12 @@ impl Preconditioner {
     /// probe measures the mean-iteration operator
     /// `A = (1/p)(I − S V D Vᵀ B) K_P` (with `B = K_P[sub, :]`) on a subset
     /// `P ⊇ subsample` of size `probe`, which includes all of that leakage.
+    /// Matrix–vector products run in `S`; the Rayleigh quotient accumulates
+    /// in `f64`.
     pub fn probe_lambda_max(
         &self,
-        kernel: &Arc<dyn Kernel>,
-        x: &Matrix,
+        kernel: &Arc<dyn Kernel<S>>,
+        x: &Matrix<S>,
         probe: usize,
         iters: usize,
         seed: u64,
@@ -431,44 +474,48 @@ impl Preconditioner {
         let kp = kmat::kernel_matrix(kernel.as_ref(), &xp);
 
         // Power iteration on A(r) = (1/p)(I − S V D Vᵀ B)(K_P r).
-        let mut v: Vec<f64> = (0..p)
-            .map(|i| ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+        let mut v: Vec<S> = (0..p)
+            .map(|i| S::from_f64(((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5))
             .collect();
         let norm = ep2_linalg::ops::norm2(&v);
-        ep2_linalg::ops::scal(1.0 / norm, &mut v);
-        let mut lambda = 0.0;
-        let mut u = vec![0.0_f64; p];
+        ep2_linalg::ops::scal(S::ONE / norm, &mut v);
+        let mut lambda = 0.0_f64;
+        let mut u = vec![S::ZERO; p];
+        let inv_p = S::from_f64(1.0 / p as f64);
         for _ in 0..iters.max(3) {
             // u = K_P v.
-            blas::gemv(1.0, &kp, &v, 0.0, &mut u);
+            blas::gemv(S::ONE, &kp, &v, S::ZERO, &mut u);
             // c = B u restricted to the subsample block (first s rows of K_P
             // by construction), then the V D Vᵀ correction.
-            let b_u: Vec<f64> = (0..s).map(|i| ep2_linalg::ops::dot(kp.row(i), &u)).collect();
+            let b_u: Vec<S> = (0..s)
+                .map(|i| ep2_linalg::ops::dot(kp.row(i), &u))
+                .collect();
             // Reuse apply_correction with a 1-column residual: Φᵀg ≡ b_u.
             // apply_correction computes V D Vᵀ Φᵀ g, where here Φᵀ g = b_u,
             // so feed Φ = I-block trick: compute directly.
             let v_q = self.eig.vectors.submatrix(0, 0, s, self.q);
-            let mut t = vec![0.0_f64; self.q];
-            blas::gemv_t(1.0, &v_q, &b_u, 0.0, &mut t);
+            let mut t = vec![S::ZERO; self.q];
+            blas::gemv_t(S::ONE, &v_q, &b_u, S::ZERO, &mut t);
             for (j, tv) in t.iter_mut().enumerate() {
-                *tv *= self.d_diag[j];
+                *tv *= S::from_f64(self.d_diag[j]);
             }
-            let mut c2 = vec![0.0_f64; s];
-            blas::gemv(1.0, &v_q, &t, 0.0, &mut c2);
+            let mut c2 = vec![S::ZERO; s];
+            blas::gemv(S::ONE, &v_q, &t, S::ZERO, &mut c2);
             // out = (u − scatter(c2)) / p.
             for (i, cv) in c2.iter().enumerate() {
-                u[i] -= cv;
+                u[i] -= *cv;
             }
             for val in u.iter_mut() {
-                *val /= p as f64;
+                *val *= inv_p;
             }
             let norm = ep2_linalg::ops::norm2(&u);
-            if norm == 0.0 {
+            if norm == S::ZERO {
                 return 0.0;
             }
-            lambda = ep2_linalg::ops::dot(&u, &v);
+            lambda = ep2_linalg::ops::dot_accum(&u, &v).to_f64();
+            let inv_norm = S::ONE / norm;
             for (vi, ui) in v.iter_mut().zip(&u) {
-                *vi = ui / norm;
+                *vi = *ui * inv_norm;
             }
         }
         lambda.abs()
@@ -507,7 +554,7 @@ mod tests {
         let eig = SubsampleEigens::compute(&kernel(), &x, 40, 10, 7).unwrap();
         assert_eq!(eig.s(), 40);
         assert_eq!(eig.values.len(), 40); // dense path: full spectrum
-        // Descending, all ≥ ~0 (PSD).
+                                          // Descending, all ≥ ~0 (PSD).
         for w in eig.values.windows(2) {
             assert!(w[0] >= w[1] - 1e-12);
         }
@@ -572,6 +619,29 @@ mod tests {
             (beta_direct - beta_via_diag).abs() < 1e-8,
             "{beta_direct} vs {beta_via_diag}"
         );
+    }
+
+    #[test]
+    fn f32_preconditioner_matches_f64_spectral_quantities() {
+        // Fit the same preconditioner at f64 and (via cast) run its f32
+        // twin: the spectral scalars are shared verbatim, and the f32
+        // correction output agrees with f64 to single-precision accuracy.
+        let x = toy_data(60, 4, 21);
+        let k = kernel();
+        let p64 = Preconditioner::fit_damped(&k, &x, 40, 5, 0.95, 3).unwrap();
+        let p32: Preconditioner<f32> = p64.cast();
+        assert_eq!(p32.q(), p64.q());
+        assert_eq!(p32.eigens().values, p64.eigens().values);
+        assert_eq!(p32.lambda1_preconditioned(), p64.lambda1_preconditioned());
+        let phi = toy_data(8, 40, 5);
+        let resid = toy_data(8, 2, 6);
+        let c64 = p64.apply_correction(&phi, &resid);
+        let c32 = p32.apply_correction(&phi.cast(), &resid.cast());
+        for i in 0..c64.rows() {
+            for j in 0..c64.cols() {
+                assert!((c32[(i, j)] as f64 - c64[(i, j)]).abs() < 1e-4, "({i},{j})");
+            }
+        }
     }
 
     #[test]

@@ -1,20 +1,27 @@
 //! Evaluation metrics: the quantities the paper's tables and figures report.
+//!
+//! All metrics are generic over the prediction/target precisions and
+//! **accumulate in f64** regardless — under the f32 and mixed training
+//! policies the error sums are exactly as trustworthy as under f64 (the
+//! "error accumulation in f64" half of the precision contract).
 
-use ep2_linalg::Matrix;
+use ep2_linalg::{Matrix, Scalar};
 
 /// Mean squared error between prediction and target matrices, averaged over
 /// all entries — the paper's Figure-2 stopping criterion is
-/// "train mse < 1e-4".
+/// "train mse < 1e-4". Predictions and targets may be in different
+/// precisions (e.g. f32 predictions against f64 targets); the sum is
+/// carried in f64.
 ///
 /// # Panics
 ///
 /// Panics if shapes differ or the matrices are empty.
-pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
+pub fn mse<A: Scalar, B: Scalar>(pred: &Matrix<A>, target: &Matrix<B>) -> f64 {
     assert_eq!(pred.shape(), target.shape(), "mse: shape mismatch");
     assert!(!pred.is_empty(), "mse: empty input");
-    let mut acc = 0.0;
+    let mut acc = 0.0_f64;
     for (p, t) in pred.as_slice().iter().zip(target.as_slice()) {
-        let d = p - t;
+        let d = p.to_f64() - t.to_f64();
         acc += d * d;
     }
     acc / pred.as_slice().len() as f64
@@ -26,8 +33,12 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> f64 {
 /// # Panics
 ///
 /// Panics if `labels.len() != pred.rows()` or `pred` has no rows.
-pub fn classification_error(pred: &Matrix, labels: &[usize]) -> f64 {
-    assert_eq!(labels.len(), pred.rows(), "classification_error: length mismatch");
+pub fn classification_error<A: Scalar>(pred: &Matrix<A>, labels: &[usize]) -> f64 {
+    assert_eq!(
+        labels.len(),
+        pred.rows(),
+        "classification_error: length mismatch"
+    );
     assert!(pred.rows() > 0, "classification_error: empty input");
     let mut wrong = 0usize;
     for (i, &label) in labels.iter().enumerate() {
@@ -42,7 +53,11 @@ pub fn classification_error(pred: &Matrix, labels: &[usize]) -> f64 {
 
 /// Per-class accuracy breakdown (`accuracies[c]` = accuracy on rows whose
 /// label is `c`; classes never seen map to `f64::NAN`).
-pub fn per_class_accuracy(pred: &Matrix, labels: &[usize], n_classes: usize) -> Vec<f64> {
+pub fn per_class_accuracy<A: Scalar>(
+    pred: &Matrix<A>,
+    labels: &[usize],
+    n_classes: usize,
+) -> Vec<f64> {
     let mut correct = vec![0usize; n_classes];
     let mut total = vec![0usize; n_classes];
     for (i, &label) in labels.iter().enumerate() {
@@ -81,11 +96,24 @@ mod tests {
     }
 
     #[test]
+    fn mse_mixed_precision_pair() {
+        let a32: Matrix<f32> = Matrix::from_rows(&[&[1.0_f32, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 0.0]]);
+        assert_eq!(mse(&a32, &b), 2.5);
+    }
+
+    #[test]
     fn classification_error_counts_argmax() {
         // Row 0 predicts class 1 (correct), row 1 predicts class 0 (wrong).
         let pred = Matrix::from_rows(&[&[0.1, 0.9], &[0.8, 0.2]]);
         let err = classification_error(&pred, &[1, 1]);
         assert_eq!(err, 0.5);
+    }
+
+    #[test]
+    fn classification_error_f32() {
+        let pred: Matrix<f32> = Matrix::from_rows(&[&[0.1_f32, 0.9], &[0.8, 0.2]]);
+        assert_eq!(classification_error(&pred, &[1, 0]), 0.0);
     }
 
     #[test]
@@ -106,8 +134,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape mismatch")]
     fn mse_shape_mismatch_panics() {
-        let a = Matrix::zeros(1, 2);
-        let b = Matrix::zeros(2, 1);
+        let a: Matrix = Matrix::zeros(1, 2);
+        let b: Matrix = Matrix::zeros(2, 1);
         let _ = mse(&a, &b);
     }
 }

@@ -188,7 +188,11 @@ pub fn r2(pred: &Matrix, target: &Matrix) -> f64 {
             .map(|(y, f)| (y - f) * (y - f))
             .sum();
         let ss_tot: f64 = col_t.iter().map(|y| (y - mean) * (y - mean)).sum();
-        total += if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        total += if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
     }
     total / t as f64
 }

@@ -7,7 +7,7 @@
 //! - `m^S_G`: the batch hitting the memory ceiling, `(d + l + m^S_G) · n ≈ S_G`;
 //! - `m^max_G = min(m^C_G, m^S_G)`.
 
-use crate::ResourceSpec;
+use crate::{Precision, ResourceSpec};
 use serde::{Deserialize, Serialize};
 
 /// The outcome of the Step-1 calculation, including both intermediate batch
@@ -37,11 +37,28 @@ pub fn batch_for_capacity(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> 
 
 /// `m^S_G` from `(d + l + m) · n ≈ S_G`; returns 0 when the dataset itself
 /// (features + weights) does not fit in device memory.
+///
+/// Uses the raw `memory_floats` slot count — i.e. the f32 reference
+/// interpretation documented on [`ResourceSpec`]. Use
+/// [`batch_for_memory_with`] to account for the training precision.
 pub fn batch_for_memory(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> usize {
+    batch_for_memory_with(spec, n, d, l, Precision::F32)
+}
+
+/// [`batch_for_memory`] under an explicit precision policy: f64 elements
+/// occupy two f32-reference slots, so `m^S_G` shrinks accordingly — and
+/// dropping from f64 to f32 (or `Mixed`) doubles the memory-slot budget.
+pub fn batch_for_memory_with(
+    spec: &ResourceSpec,
+    n: usize,
+    d: usize,
+    l: usize,
+    precision: Precision,
+) -> usize {
     if n == 0 {
         return 0;
     }
-    let per_point = spec.memory_floats / (n as f64) - (d + l) as f64;
+    let per_point = spec.memory_slots(precision) / (n as f64) - (d + l) as f64;
     if per_point < 1.0 {
         0
     } else {
@@ -49,7 +66,14 @@ pub fn batch_for_memory(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> us
     }
 }
 
-/// The full Step-1 plan: `m^max_G = min(m^C_G, m^S_G)` clamped to `[1, n]`.
+/// The full Step-1 plan: `m^max_G = min(m^C_G, m^S_G)` clamped to `[1, n]`,
+/// at the f32 reference slot width (see [`batch_for_memory`]).
+///
+/// **Pre-flighting a trainer run?** `TrainConfig` defaults to
+/// `Precision::F64`, whose elements cost *two* reference slots — use
+/// [`max_batch_with`] with the same precision the trainer will run under,
+/// or the trainer's memory ledger may reject a plan this function
+/// approved.
 ///
 /// # Panics
 ///
@@ -57,14 +81,35 @@ pub fn batch_for_memory(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> us
 /// device at all (`m^S_G == 0`) — a configuration the paper's workflow never
 /// reaches because datasets are subsampled to fit.
 pub fn max_batch(spec: &ResourceSpec, n: usize, d: usize, l: usize) -> BatchPlan {
+    max_batch_with(spec, n, d, l, Precision::F32)
+}
+
+/// [`max_batch`] under an explicit precision policy. This is the Step-1
+/// entry point the trainer uses: under `Precision::F32` (or `Mixed`) the
+/// memory-limited batch `m^S_G` is what the paper's f32 GPU implementation
+/// sees; under `Precision::F64` every resident element costs two reference
+/// slots, so on a memory-bound device `m^max_G` roughly halves — switching
+/// back to f32 doubles the computable batch for the same `ResourceSpec`.
+///
+/// # Panics
+///
+/// Same conditions as [`max_batch`].
+pub fn max_batch_with(
+    spec: &ResourceSpec,
+    n: usize,
+    d: usize,
+    l: usize,
+    precision: Precision,
+) -> BatchPlan {
     assert!(n > 0, "max_batch: n must be positive");
     assert!(d + l > 0, "max_batch: d + l must be positive");
     let capacity_batch = batch_for_capacity(spec, n, d, l);
-    let memory_batch = batch_for_memory(spec, n, d, l);
+    let memory_batch = batch_for_memory_with(spec, n, d, l, precision);
     assert!(
         memory_batch > 0,
-        "problem (n={n}, d={d}, l={l}) does not fit in device memory {:.3e}",
-        spec.memory_floats
+        "problem (n={n}, d={d}, l={l}, precision={precision}) does not fit in \
+         device memory {:.3e}",
+        spec.memory_slots(precision)
     );
     let batch = capacity_batch.min(memory_batch).clamp(1, n);
     BatchPlan {
@@ -109,7 +154,7 @@ mod tests {
     fn memory_bound_flag() {
         // Device with huge capacity but tiny memory: memory is binding.
         let spec = ResourceSpec::new("mem-starved", 1e15, 2e6, 1e12, 0.0);
-        let plan = max_batch(&spec, 1_000, 100, 10, );
+        let plan = max_batch(&spec, 1_000, 100, 10);
         assert!(plan.memory_bound);
         assert_eq!(plan.batch, plan.memory_batch.min(1_000));
     }
@@ -134,5 +179,36 @@ mod tests {
     fn unfittable_problem_panics() {
         let spec = ResourceSpec::new("tiny", 1e9, 1e4, 1e9, 0.0);
         let _ = max_batch(&spec, 1_000, 500, 10);
+    }
+
+    #[test]
+    fn f32_memory_batch_at_least_doubles_f64() {
+        // Memory-bound device: m^S_G(f32) = S/n − (d+l) and
+        // m^S_G(f64) = S/2n − (d+l), so the f32 batch is 2·m_f64 + (d+l) —
+        // at least double, with the 2x ratio exact on the slot budget.
+        let spec = ResourceSpec::new("mem-starved", 1e15, 2e6, 1e12, 0.0);
+        let (n, d, l) = (1_000, 100, 10);
+        let m32 = max_batch_with(&spec, n, d, l, Precision::F32);
+        let m64 = max_batch_with(&spec, n, d, l, Precision::F64);
+        assert!(m32.memory_bound && m64.memory_bound);
+        assert_eq!(m32.memory_batch, 2 * m64.memory_batch + (d + l));
+        assert!(m32.memory_batch >= 2 * m64.memory_batch);
+        // Mixed plans memory like f32.
+        let mixed = max_batch_with(&spec, n, d, l, Precision::Mixed);
+        assert_eq!(mixed.memory_batch, m32.memory_batch);
+    }
+
+    #[test]
+    fn titan_xp_mnist_is_memory_bound_only_under_f64() {
+        // Table-4 MNIST scale (n = 1e6, d = 784, l = 10) on the Titan Xp:
+        // in the paper's f32 the problem is capacity-bound (m ≈ 735), but
+        // storing everything in f64 would cross the 12 GB line first — the
+        // precision knob genuinely changes Step 1's binding constraint.
+        let spec = ResourceSpec::titan_xp();
+        let a = max_batch_with(&spec, 1_000_000, 784, 10, Precision::F32);
+        let b = max_batch_with(&spec, 1_000_000, 784, 10, Precision::F64);
+        assert!(!a.memory_bound, "f32 is capacity-bound at paper scale");
+        assert!(b.memory_bound, "f64 crosses the memory line first");
+        assert!(b.batch < a.batch);
     }
 }

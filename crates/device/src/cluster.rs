@@ -95,6 +95,9 @@ impl ClusterSpec {
     /// Step-1 batch plan against the *aggregate* resource: capacity scales
     /// with `g` (each device works on its `n/g`-center shard), memory holds
     /// the shard plus the batch block.
+    ///
+    /// Uses the f32 reference slot width (like [`batch::max_batch`]); the
+    /// distributed path does not take a `Precision` yet — see ROADMAP.
     pub fn max_batch(&self, n: usize, d: usize, l: usize) -> batch::BatchPlan {
         let g = self.n_devices;
         let n_local = n.div_ceil(g).max(1);

@@ -52,7 +52,12 @@ impl IterationCost {
 
 /// Cost of one standard SGD iteration (Table 1, row 3).
 pub fn sgd(shape: &ProblemShape) -> IterationCost {
-    let (n, m, d, l) = (shape.n as f64, shape.m as f64, shape.d as f64, shape.l as f64);
+    let (n, m, d, l) = (
+        shape.n as f64,
+        shape.m as f64,
+        shape.d as f64,
+        shape.l as f64,
+    );
     IterationCost {
         compute_ops: n * m * (d + l),
         memory_slots: n * (m + d + l),
@@ -104,8 +109,18 @@ mod tests {
 
     #[test]
     fn original_overhead_scales_with_n() {
-        let small = ProblemShape { n: 10_000, m: 100, d: 100, l: 10, s: 2_000, q: 50 };
-        let big = ProblemShape { n: 1_000_000, ..small };
+        let small = ProblemShape {
+            n: 10_000,
+            m: 100,
+            d: 100,
+            l: 10,
+            s: 2_000,
+            q: 50,
+        };
+        let big = ProblemShape {
+            n: 1_000_000,
+            ..small
+        };
         // Original EigenPro's *memory* overhead ratio q/(m+d+l) is constant,
         // but its absolute overhead grows linearly with n while improved
         // EigenPro's absolute overhead stays fixed.
@@ -123,7 +138,14 @@ mod tests {
 
     #[test]
     fn improved_cheaper_than_original_when_s_below_n() {
-        let shape = ProblemShape { n: 100_000, m: 500, d: 400, l: 10, s: 5_000, q: 80 };
+        let shape = ProblemShape {
+            n: 100_000,
+            m: 500,
+            d: 400,
+            l: 10,
+            s: 5_000,
+            q: 80,
+        };
         let imp = improved_eigenpro(&shape);
         let orig = original_eigenpro(&shape);
         assert!(imp.compute_ops < orig.compute_ops);
@@ -132,7 +154,14 @@ mod tests {
 
     #[test]
     fn sgd_formulas_exact() {
-        let shape = ProblemShape { n: 10, m: 2, d: 3, l: 1, s: 5, q: 2 };
+        let shape = ProblemShape {
+            n: 10,
+            m: 2,
+            d: 3,
+            l: 1,
+            s: 5,
+            q: 2,
+        };
         let c = sgd(&shape);
         assert_eq!(c.compute_ops, 10.0 * 2.0 * 4.0);
         assert_eq!(c.memory_slots, 10.0 * (2.0 + 3.0 + 1.0));

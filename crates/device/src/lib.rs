@@ -42,10 +42,12 @@ pub mod batch;
 pub mod cluster;
 pub mod cost;
 pub mod memory;
+mod precision;
 mod spec;
 pub mod timing;
 
 pub use cluster::ClusterSpec;
 pub use memory::{MemoryError, MemoryLedger};
+pub use precision::Precision;
 pub use spec::ResourceSpec;
 pub use timing::{DeviceMode, SimClock};

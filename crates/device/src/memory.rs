@@ -70,7 +70,10 @@ impl MemoryLedger {
     ///
     /// Panics if `budget` is not positive and finite.
     pub fn new(budget: f64) -> Self {
-        assert!(budget > 0.0 && budget.is_finite(), "budget must be positive");
+        assert!(
+            budget > 0.0 && budget.is_finite(),
+            "budget must be positive"
+        );
         MemoryLedger {
             state: Arc::new(Mutex::new(LedgerState {
                 budget,
@@ -86,7 +89,10 @@ impl MemoryLedger {
     ///
     /// Returns [`MemoryError`] if the allocation would exceed the budget.
     pub fn alloc(&self, slots: f64) -> Result<Allocation, MemoryError> {
-        assert!(slots >= 0.0 && slots.is_finite(), "slots must be non-negative");
+        assert!(
+            slots >= 0.0 && slots.is_finite(),
+            "slots must be non-negative"
+        );
         let mut st = self.state.lock();
         if st.in_use + slots > st.budget {
             return Err(MemoryError {

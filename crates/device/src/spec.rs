@@ -40,10 +40,16 @@ impl ResourceSpec {
         peak_flops: f64,
         launch_overhead: f64,
     ) -> Self {
-        assert!(parallel_capacity > 0.0, "parallel_capacity must be positive");
+        assert!(
+            parallel_capacity > 0.0,
+            "parallel_capacity must be positive"
+        );
         assert!(memory_floats > 0.0, "memory_floats must be positive");
         assert!(peak_flops > 0.0, "peak_flops must be positive");
-        assert!(launch_overhead >= 0.0, "launch_overhead must be non-negative");
+        assert!(
+            launch_overhead >= 0.0,
+            "launch_overhead must be non-negative"
+        );
         ResourceSpec {
             name: name.into(),
             parallel_capacity,
@@ -106,6 +112,17 @@ impl ResourceSpec {
     pub fn saturated_launch_time(&self) -> f64 {
         self.parallel_capacity / self.peak_flops
     }
+
+    /// Memory capacity in *stored elements* under the given precision
+    /// policy.
+    ///
+    /// `memory_floats` counts f32-sized reference slots (the paper trains in
+    /// f32); storing f64 elements costs two slots each, so the same card
+    /// holds half as many — and Step 1's memory-limited batch `m^S_G`
+    /// shrinks accordingly. See [`crate::batch::max_batch_with`].
+    pub fn memory_slots(&self, precision: crate::Precision) -> f64 {
+        self.memory_floats / precision.slot_factor()
+    }
 }
 
 #[cfg(test)]
@@ -138,13 +155,30 @@ mod tests {
         let c = ResourceSpec::calibrated_to_host(&ResourceSpec::titan_xp(), 3.2e9);
         assert_eq!(c.peak_flops, 3.2e9);
         assert!(c.name.contains("host-calibrated"));
-        assert_eq!(c.parallel_capacity, ResourceSpec::titan_xp().parallel_capacity);
+        assert_eq!(
+            c.parallel_capacity,
+            ResourceSpec::titan_xp().parallel_capacity
+        );
     }
 
     #[test]
     #[should_panic(expected = "peak_flops")]
     fn rejects_nonpositive_flops() {
         let _ = ResourceSpec::new("bad", 1.0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn memory_slots_halve_under_f64() {
+        let spec = ResourceSpec::titan_xp();
+        assert_eq!(spec.memory_slots(crate::Precision::F32), spec.memory_floats);
+        assert_eq!(
+            spec.memory_slots(crate::Precision::Mixed),
+            spec.memory_floats
+        );
+        assert_eq!(
+            spec.memory_slots(crate::Precision::F64),
+            spec.memory_floats / 2.0
+        );
     }
 
     #[test]

@@ -1,16 +1,22 @@
 use std::fmt;
 
-use ep2_linalg::ops;
+use ep2_linalg::{ops, Scalar};
 
 /// A radial positive-definite kernel `k(x, z) = g(‖x − z‖²)` with
-/// `k(x, x) = 1`.
+/// `k(x, x) = 1`, generic over the evaluation precision `S`
+/// (default `f64`, so `dyn Kernel` keeps its historical meaning).
 ///
 /// The trait exposes the radial profile [`Kernel::of_sq_dist`] so kernel
 /// matrices can be assembled from a squared-distance matrix computed with one
 /// GEMM — the computation pattern whose cost the device simulator models.
-pub trait Kernel: Send + Sync + fmt::Debug {
+/// Every concrete kernel in this crate implements `Kernel<S>` for all
+/// scalar types, with the profile evaluated natively in `S` (constants are
+/// converted once per call): the f32 instantiation is the paper's GPU
+/// configuration, where assembly is memory-bound and half-width elements
+/// roughly double throughput.
+pub trait Kernel<S: Scalar = f64>: Send + Sync + fmt::Debug {
     /// Evaluates the radial profile at squared distance `d2 ≥ 0`.
-    fn of_sq_dist(&self, d2: f64) -> f64;
+    fn of_sq_dist(&self, d2: S) -> S;
 
     /// Kernel name for reports ("gaussian", "laplacian", ...).
     fn name(&self) -> &str;
@@ -23,7 +29,7 @@ pub trait Kernel: Send + Sync + fmt::Debug {
     /// # Panics
     ///
     /// Panics if `x.len() != z.len()`.
-    fn eval(&self, x: &[f64], z: &[f64]) -> f64 {
+    fn eval(&self, x: &[S], z: &[S]) -> S {
         self.of_sq_dist(ops::sq_dist(x, z))
     }
 }
@@ -59,12 +65,24 @@ impl KernelKind {
         KernelKind::RationalQuadratic,
     ];
 
-    /// Constructs the kernel with bandwidth `sigma`.
+    /// Constructs the kernel with bandwidth `sigma` (double-precision
+    /// evaluation — the historical default).
     ///
     /// # Panics
     ///
     /// Panics if `sigma <= 0`.
     pub fn with_bandwidth(self, sigma: f64) -> Box<dyn Kernel> {
+        self.with_bandwidth_in::<f64>(sigma)
+    }
+
+    /// Constructs the kernel with bandwidth `sigma`, evaluated in the scalar
+    /// precision `S` — the entry point the `Precision` training policy uses
+    /// to run kernel assembly in f32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma <= 0`.
+    pub fn with_bandwidth_in<S: Scalar>(self, sigma: f64) -> Box<dyn Kernel<S>> {
         match self {
             KernelKind::Gaussian => Box::new(GaussianKernel::new(sigma)),
             KernelKind::Laplacian => Box::new(LaplacianKernel::new(sigma)),
@@ -106,7 +124,7 @@ impl fmt::Display for KernelKind {
 }
 
 macro_rules! radial_kernel {
-    ($(#[$doc:meta])* $name:ident, $label:literal, |$d2:ident, $sigma:ident| $body:expr) => {
+    ($(#[$doc:meta])* $name:ident, $label:literal, |$d2:ident, $sigma:ident, $cst:ident| $body:expr) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq)]
         pub struct $name {
@@ -128,12 +146,18 @@ macro_rules! radial_kernel {
             }
         }
 
-        impl Kernel for $name {
+        impl<S: Scalar> Kernel<S> for $name {
             #[inline]
-            fn of_sq_dist(&self, $d2: f64) -> f64 {
-                debug_assert!($d2 >= -1e-9, "negative squared distance {}", $d2);
-                let $d2 = $d2.max(0.0);
-                let $sigma = self.sigma;
+            fn of_sq_dist(&self, d2: S) -> S {
+                debug_assert!(
+                    d2.to_f64() >= -1e-9,
+                    "negative squared distance {}",
+                    d2
+                );
+                let $d2 = d2.max(S::ZERO);
+                let $sigma = S::from_f64(self.sigma);
+                #[allow(unused_variables)]
+                let $cst = S::from_f64;
                 $body
             }
 
@@ -152,7 +176,7 @@ radial_kernel!(
     /// Gaussian (RBF) kernel `k(x, z) = exp(−‖x−z‖² / 2σ²)`.
     GaussianKernel,
     "gaussian",
-    |d2, sigma| (-d2 / (2.0 * sigma * sigma)).exp()
+    |d2, sigma, cst| (-d2 / (cst(2.0) * sigma * sigma)).exp()
 );
 
 radial_kernel!(
@@ -162,14 +186,14 @@ radial_kernel!(
     /// epochs, larger critical batch `m*`, and robustness to the bandwidth.
     LaplacianKernel,
     "laplacian",
-    |d2, sigma| (-d2.sqrt() / sigma).exp()
+    |d2, sigma, cst| (-d2.sqrt() / sigma).exp()
 );
 
 radial_kernel!(
     /// Cauchy kernel `k(x, z) = 1 / (1 + ‖x−z‖²/σ²)`.
     CauchyKernel,
     "cauchy",
-    |d2, sigma| 1.0 / (1.0 + d2 / (sigma * sigma))
+    |d2, sigma, cst| cst(1.0) / (cst(1.0) + d2 / (sigma * sigma))
 );
 
 radial_kernel!(
@@ -177,9 +201,9 @@ radial_kernel!(
     /// differentiable sample paths, between Laplacian and Gaussian.
     Matern32Kernel,
     "matern32",
-    |d2, sigma| {
-        let t = 3.0_f64.sqrt() * d2.sqrt() / sigma;
-        (1.0 + t) * (-t).exp()
+    |d2, sigma, cst| {
+        let t = cst(3.0_f64.sqrt()) * d2.sqrt() / sigma;
+        (cst(1.0) + t) * (-t).exp()
     }
 );
 
@@ -187,10 +211,10 @@ radial_kernel!(
     /// Matérn-5/2 kernel `k(x, z) = (1 + √5 r/σ + 5r²/3σ²) exp(−√5 r/σ)`.
     Matern52Kernel,
     "matern52",
-    |d2, sigma| {
+    |d2, sigma, cst| {
         let r = d2.sqrt();
-        let t = 5.0_f64.sqrt() * r / sigma;
-        (1.0 + t + 5.0 * d2 / (3.0 * sigma * sigma)) * (-t).exp()
+        let t = cst(5.0_f64.sqrt()) * r / sigma;
+        (cst(1.0) + t + cst(5.0) * d2 / (cst(3.0) * sigma * sigma)) * (-t).exp()
     }
 );
 
@@ -199,7 +223,7 @@ radial_kernel!(
     /// (the `α = 1` member of the RQ family — a Gaussian scale mixture).
     RationalQuadraticKernel,
     "rational-quadratic",
-    |d2, sigma| 1.0 / (1.0 + d2 / (2.0 * sigma * sigma))
+    |d2, sigma, cst| cst(1.0) / (cst(1.0) + d2 / (cst(2.0) * sigma * sigma))
 );
 
 #[cfg(test)]
@@ -231,6 +255,23 @@ mod tests {
     }
 
     #[test]
+    fn f32_profile_matches_f64_to_single_eps() {
+        for kind in KernelKind::ALL {
+            let k32 = kind.with_bandwidth_in::<f32>(1.7);
+            let k64 = kind.with_bandwidth_in::<f64>(1.7);
+            for i in 0..40 {
+                let d2 = i as f64 * 0.3;
+                let v32 = k32.of_sq_dist(d2 as f32) as f64;
+                let v64 = k64.of_sq_dist(d2);
+                assert!(
+                    (v32 - v64).abs() < 1e-5,
+                    "{kind} at d2 = {d2}: {v32} vs {v64}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn matern_between_laplacian_and_gaussian() {
         // At moderate distance, Matérn-3/2 decays faster than Laplacian but
         // slower than Gaussian (for matched σ and r > σ).
@@ -240,8 +281,8 @@ mod tests {
             Matern32Kernel::new(1.0),
         );
         let d2 = 9.0; // r = 3σ
-        assert!(g.of_sq_dist(d2) < m.of_sq_dist(d2));
-        assert!(m.of_sq_dist(d2) < l.of_sq_dist(d2));
+        assert!(Kernel::<f64>::of_sq_dist(&g, d2) < Kernel::<f64>::of_sq_dist(&m, d2));
+        assert!(Kernel::<f64>::of_sq_dist(&m, d2) < Kernel::<f64>::of_sq_dist(&l, d2));
     }
 
     #[test]
@@ -258,41 +299,48 @@ mod tests {
         let k = Matern52Kernel::new(2.0);
         // Smooth at zero; value drops below Matérn-3/2 beyond a few σ.
         let k32 = Matern32Kernel::new(2.0);
-        assert!(k.of_sq_dist(100.0) < k32.of_sq_dist(100.0));
+        assert!(Kernel::<f64>::of_sq_dist(&k, 100.0) < Kernel::<f64>::of_sq_dist(&k32, 100.0));
     }
 
     #[test]
     fn rq_heavier_tail_than_gaussian() {
         let rq = RationalQuadraticKernel::new(1.0);
         let g = GaussianKernel::new(1.0);
-        assert!(rq.of_sq_dist(25.0) > g.of_sq_dist(25.0));
+        assert!(Kernel::<f64>::of_sq_dist(&rq, 25.0) > Kernel::<f64>::of_sq_dist(&g, 25.0));
     }
 
     #[test]
     fn gaussian_known_value() {
         let k = GaussianKernel::new(1.0);
         // ‖x−z‖² = 2 → exp(−1).
-        assert!((k.eval(&[0.0, 0.0], &[1.0, 1.0]) - (-1.0_f64).exp()).abs() < 1e-15);
+        let v: f64 = k.eval(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!((v - (-1.0_f64).exp()).abs() < 1e-15);
     }
 
     #[test]
     fn laplacian_known_value() {
         let k = LaplacianKernel::new(2.0);
         // ‖x−z‖ = 3 → exp(−1.5).
-        assert!((k.eval(&[0.0], &[3.0]) - (-1.5_f64).exp()).abs() < 1e-15);
+        let v: f64 = k.eval(&[0.0], &[3.0]);
+        assert!((v - (-1.5_f64).exp()).abs() < 1e-15);
     }
 
     #[test]
     fn cauchy_known_value() {
         let k = CauchyKernel::new(1.0);
-        assert!((k.eval(&[0.0], &[1.0]) - 0.5).abs() < 1e-15);
+        let v: f64 = k.eval(&[0.0], &[1.0]);
+        assert!((v - 0.5).abs() < 1e-15);
     }
 
     #[test]
     fn symmetry_and_bounds() {
         let x = [0.3, -1.2];
         let z = [2.0, 0.7];
-        for kind in [KernelKind::Gaussian, KernelKind::Laplacian, KernelKind::Cauchy] {
+        for kind in [
+            KernelKind::Gaussian,
+            KernelKind::Laplacian,
+            KernelKind::Cauchy,
+        ] {
             let k = kind.with_bandwidth(1.5);
             let a = k.eval(&x, &z);
             let b = k.eval(&z, &x);
@@ -303,7 +351,11 @@ mod tests {
 
     #[test]
     fn monotone_decreasing_in_distance() {
-        for kind in [KernelKind::Gaussian, KernelKind::Laplacian, KernelKind::Cauchy] {
+        for kind in [
+            KernelKind::Gaussian,
+            KernelKind::Laplacian,
+            KernelKind::Cauchy,
+        ] {
             let k = kind.with_bandwidth(1.0);
             let mut prev = k.of_sq_dist(0.0);
             for i in 1..20 {
@@ -318,7 +370,7 @@ mod tests {
     fn wider_bandwidth_is_flatter() {
         let narrow = GaussianKernel::new(1.0);
         let wide = GaussianKernel::new(10.0);
-        assert!(wide.of_sq_dist(4.0) > narrow.of_sq_dist(4.0));
+        assert!(Kernel::<f64>::of_sq_dist(&wide, 4.0) > Kernel::<f64>::of_sq_dist(&narrow, 4.0));
     }
 
     #[test]

@@ -23,8 +23,12 @@
 //! use ep2_kernels::{GaussianKernel, Kernel};
 //!
 //! let k = GaussianKernel::new(5.0);
-//! let x = [0.0, 0.0];
-//! assert!((k.eval(&x, &x) - 1.0).abs() < 1e-15);
+//! let x = [0.0_f64, 0.0];
+//! assert!((k.eval(&x, &x) - 1.0_f64).abs() < 1e-15);
+//!
+//! // The same kernel object evaluates in f32 (the paper's GPU precision):
+//! let x32 = [0.0_f32, 0.0];
+//! assert_eq!(k.eval(&x32, &x32), 1.0_f32);
 //! ```
 
 #![warn(missing_docs)]

@@ -1,13 +1,16 @@
-//! Blocked, multi-threaded kernel-matrix assembly.
+//! Blocked, multi-threaded kernel-matrix assembly, generic over the element
+//! precision [`Scalar`].
 //!
 //! For radial kernels the `n x m` cross matrix `K[i][j] = k(a_i, b_j)` is
 //! assembled as `g(‖a_i‖² + ‖b_j‖² − 2 a_i·b_j)`: one GEMM plus a cheap
 //! element-wise pass. This is exactly how GPU kernel methods (including the
 //! reference EigenPro implementation) compute kernels, so the operation
-//! count `(2d + c) · n · m` matches the device cost model.
+//! count `(2d + c) · n · m` matches the device cost model. Instantiated at
+//! `f32` this is the paper's actual GPU configuration: the GEMM and the
+//! element-wise pass both stream half the bytes.
 
 use crate::Kernel;
-use ep2_linalg::{blas, ops, parallel, Matrix};
+use ep2_linalg::{blas, ops, parallel, Matrix, Scalar};
 
 /// Assembles the cross kernel matrix `K[i][j] = k(a_i, b_j)` of shape
 /// `(a.rows(), b.rows())`.
@@ -15,7 +18,7 @@ use ep2_linalg::{blas, ops, parallel, Matrix};
 /// # Panics
 ///
 /// Panics if `a.cols() != b.cols()`.
-pub fn kernel_cross(kernel: &dyn Kernel, a: &Matrix, b: &Matrix) -> Matrix {
+pub fn kernel_cross<S: Scalar>(kernel: &dyn Kernel<S>, a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
     assert_eq!(a.cols(), b.cols(), "kernel_cross: feature dims differ");
     let (n, m) = (a.rows(), b.rows());
     if n == 0 || m == 0 {
@@ -23,17 +26,17 @@ pub fn kernel_cross(kernel: &dyn Kernel, a: &Matrix, b: &Matrix) -> Matrix {
     }
     // -2 A B^T
     let mut k = Matrix::zeros(n, m);
-    blas::gemm_nt(-2.0, a, b, 0.0, &mut k);
+    blas::gemm_nt(S::from_f64(-2.0), a, b, S::ZERO, &mut k);
     // Row/col squared norms.
-    let a_sq: Vec<f64> = (0..n).map(|i| ops::dot(a.row(i), a.row(i))).collect();
-    let b_sq: Vec<f64> = (0..m).map(|j| ops::dot(b.row(j), b.row(j))).collect();
+    let a_sq: Vec<S> = (0..n).map(|i| ops::dot(a.row(i), a.row(i))).collect();
+    let b_sq: Vec<S> = (0..m).map(|j| ops::dot(b.row(j), b.row(j))).collect();
     // Element-wise radial profile, parallel over row chunks.
     let cols = m;
     parallel::for_each_chunk_mut(k.as_mut_slice(), cols.max(1) * 64, |off, chunk| {
         for (local, v) in chunk.iter_mut().enumerate() {
             let idx = off + local;
             let (i, j) = (idx / cols, idx % cols);
-            let d2 = (a_sq[i] + b_sq[j] + *v).max(0.0);
+            let d2 = (a_sq[i] + b_sq[j] + *v).max(S::ZERO);
             *v = kernel.of_sq_dist(d2);
         }
     });
@@ -44,11 +47,11 @@ pub fn kernel_cross(kernel: &dyn Kernel, a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// The result is exactly symmetric with a unit diagonal (enforced after the
 /// floating-point assembly).
-pub fn kernel_matrix(kernel: &dyn Kernel, x: &Matrix) -> Matrix {
+pub fn kernel_matrix<S: Scalar>(kernel: &dyn Kernel<S>, x: &Matrix<S>) -> Matrix<S> {
     let mut k = kernel_cross(kernel, x, x);
     k.symmetrize();
     for i in 0..k.rows() {
-        k[(i, i)] = kernel.of_sq_dist(0.0);
+        k[(i, i)] = kernel.of_sq_dist(S::ZERO);
     }
     k
 }
@@ -62,17 +65,21 @@ pub fn kernel_matrix(kernel: &dyn Kernel, x: &Matrix) -> Matrix {
 /// # Panics
 ///
 /// Panics if the feature dimensions differ.
-pub fn feature_map(kernel: &dyn Kernel, centers: &Matrix, points: &Matrix) -> Matrix {
+pub fn feature_map<S: Scalar>(
+    kernel: &dyn Kernel<S>,
+    centers: &Matrix<S>,
+    points: &Matrix<S>,
+) -> Matrix<S> {
     kernel_cross(kernel, points, centers)
 }
 
 /// `β(K) = max_i k(x_i, x_i)` for a plain kernel — identically
 /// `k(0) = 1` for the normalised radial kernels in this crate, but computed
 /// from data for API symmetry with the preconditioned case.
-pub fn beta(kernel: &dyn Kernel, x: &Matrix) -> f64 {
+pub fn beta<S: Scalar>(kernel: &dyn Kernel<S>, x: &Matrix<S>) -> S {
     (0..x.rows())
         .map(|i| kernel.eval(x.row(i), x.row(i)))
-        .fold(0.0_f64, f64::max)
+        .fold(S::ZERO, S::max)
 }
 
 /// Operation count of assembling an `n x m` kernel block over `d` features:
@@ -128,6 +135,27 @@ mod tests {
     }
 
     #[test]
+    fn f32_assembly_matches_f64_to_single_eps() {
+        let k = GaussianKernel::new(1.5);
+        let a = points(13, 6, 7);
+        let b = points(9, 6, 8);
+        let kc64 = kernel_cross(&k, &a, &b);
+        let kc32 = kernel_cross::<f32>(&k, &a.cast(), &b.cast());
+        for i in 0..13 {
+            for j in 0..9 {
+                // d ≈ 6-term f32 reductions through a Lipschitz profile:
+                // agreement to ~1e-5 absolute (kernel values are in (0, 1]).
+                assert!(
+                    (kc32[(i, j)] as f64 - kc64[(i, j)]).abs() < 1e-5,
+                    "({i},{j}): {} vs {}",
+                    kc32[(i, j)],
+                    kc64[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn symmetric_unit_diagonal() {
         let k = GaussianKernel::new(0.7);
         let x = points(31, 4, 9);
@@ -170,7 +198,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let k = GaussianKernel::new(1.0);
-        let x = Matrix::zeros(0, 5);
+        let x: Matrix = Matrix::zeros(0, 5);
         let y = points(3, 5, 1);
         assert_eq!(kernel_cross(&k, &x, &y).shape(), (0, 3));
     }

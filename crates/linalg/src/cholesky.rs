@@ -1,20 +1,24 @@
-//! Cholesky factorisation and triangular solves.
+//! Cholesky factorisation and triangular solves, generic over the element
+//! precision [`Scalar`].
 //!
 //! The FALKON baseline preconditions its conjugate-gradient iteration with
 //! two Cholesky factors (`T` and `A` in Rudi et al. 2017), and the exact
 //! interpolation solver (`K α = y`) uses a jittered Cholesky as its direct
 //! method. Plain right-looking `O(n³/3)` factorisation — the matrices here
-//! are subsample-sized.
+//! are subsample-sized. Inner-product pivots accumulate in
+//! [`Scalar::Accum`], so the f32 instantiation keeps positive-definiteness
+//! decisions at f64 fidelity.
 
+use crate::scalar::Scalar;
 use crate::{LinalgError, Matrix};
 
 /// A lower-triangular Cholesky factor `L` with `A = L L^T`.
 #[derive(Debug, Clone)]
-pub struct CholeskyFactor {
-    l: Matrix,
+pub struct CholeskyFactor<S: Scalar = f64> {
+    l: Matrix<S>,
 }
 
-impl CholeskyFactor {
+impl<S: Scalar> CholeskyFactor<S> {
     /// Factorises the symmetric positive-definite matrix `a`.
     ///
     /// # Errors
@@ -22,27 +26,27 @@ impl CholeskyFactor {
     /// Returns [`LinalgError::NotPositiveDefinite`] with the failing pivot if
     /// a non-positive pivot is encountered, and
     /// [`LinalgError::InvalidArgument`] if `a` is not square.
-    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+    pub fn new(a: &Matrix<S>) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::InvalidArgument {
                 message: format!("cholesky requires a square matrix, got {:?}", a.shape()),
             });
         }
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        let mut l: Matrix<S> = Matrix::zeros(n, n);
         for i in 0..n {
             for j in 0..=i {
-                let mut sum = a[(i, j)];
+                let mut sum = a[(i, j)].accum();
                 for k in 0..j {
-                    sum -= l[(i, k)] * l[(j, k)];
+                    sum -= l[(i, k)].accum() * l[(j, k)].accum();
                 }
                 if i == j {
-                    if sum <= 0.0 || !sum.is_finite() {
+                    if sum <= S::Accum::ZERO || !sum.is_finite() {
                         return Err(LinalgError::NotPositiveDefinite { pivot: i });
                     }
-                    l[(i, j)] = sum.sqrt();
+                    l[(i, j)] = S::from_accum(sum.sqrt());
                 } else {
-                    l[(i, j)] = sum / l[(j, j)];
+                    l[(i, j)] = S::from_accum(sum / l[(j, j)].accum());
                 }
             }
         }
@@ -59,7 +63,7 @@ impl CholeskyFactor {
     ///
     /// Returns the last [`LinalgError`] if every jitter level fails.
     pub fn new_with_jitter(
-        a: &Matrix,
+        a: &Matrix<S>,
         initial_jitter: f64,
         max_tries: usize,
     ) -> Result<(Self, f64), LinalgError> {
@@ -68,7 +72,7 @@ impl CholeskyFactor {
         for _ in 0..max_tries.max(1) {
             let mut aj = a.clone();
             for i in 0..a.rows() {
-                aj[(i, i)] += jitter;
+                aj[(i, i)] += S::from_f64(jitter);
             }
             match CholeskyFactor::new(&aj) {
                 Ok(f) => return Ok((f, jitter)),
@@ -84,7 +88,7 @@ impl CholeskyFactor {
     }
 
     /// The lower-triangular factor `L`.
-    pub fn factor(&self) -> &Matrix {
+    pub fn factor(&self) -> &Matrix<S> {
         &self.l
     }
 
@@ -93,17 +97,17 @@ impl CholeskyFactor {
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the factor size.
-    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve_lower(&self, b: &[S]) -> Vec<S> {
         let n = self.l.rows();
         assert_eq!(b.len(), n);
         let mut x = b.to_vec();
         for i in 0..n {
             let row = self.l.row(i);
-            let mut sum = x[i];
+            let mut sum = x[i].accum();
             for k in 0..i {
-                sum -= row[k] * x[k];
+                sum -= row[k].accum() * x[k].accum();
             }
-            x[i] = sum / row[i];
+            x[i] = S::from_accum(sum / row[i].accum());
         }
         x
     }
@@ -113,16 +117,16 @@ impl CholeskyFactor {
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the factor size.
-    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve_upper(&self, b: &[S]) -> Vec<S> {
         let n = self.l.rows();
         assert_eq!(b.len(), n);
         let mut x = b.to_vec();
         for i in (0..n).rev() {
-            let mut sum = x[i];
+            let mut sum = x[i].accum();
             for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
-                sum -= self.l[(k, i)] * xk;
+                sum -= self.l[(k, i)].accum() * xk.accum();
             }
-            x[i] = sum / self.l[(i, i)];
+            x[i] = S::from_accum(sum / self.l[(i, i)].accum());
         }
         x
     }
@@ -132,7 +136,7 @@ impl CholeskyFactor {
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the factor size.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+    pub fn solve(&self, b: &[S]) -> Vec<S> {
         self.solve_upper(&self.solve_lower(b))
     }
 
@@ -141,7 +145,7 @@ impl CholeskyFactor {
     /// # Panics
     ///
     /// Panics if `b.rows()` does not match the factor size.
-    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+    pub fn solve_matrix(&self, b: &Matrix<S>) -> Matrix<S> {
         let mut x = Matrix::zeros(b.rows(), b.cols());
         for j in 0..b.cols() {
             let col = self.solve(&b.col(j));
@@ -150,9 +154,12 @@ impl CholeskyFactor {
         x
     }
 
-    /// `log det(A) = 2 Σ log L_ii`.
+    /// `log det(A) = 2 Σ log L_ii` (accumulated in `f64`).
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+        (0..self.l.rows())
+            .map(|i| self.l[(i, i)].to_f64().ln())
+            .sum::<f64>()
+            * 2.0
     }
 }
 
@@ -161,7 +168,7 @@ impl CholeskyFactor {
 /// # Errors
 ///
 /// Propagates [`CholeskyFactor::new`] failures.
-pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+pub fn solve_spd<S: Scalar>(a: &Matrix<S>, b: &[S]) -> Result<Vec<S>, LinalgError> {
     Ok(CholeskyFactor::new(a)?.solve(b))
 }
 
@@ -212,6 +219,19 @@ mod tests {
     }
 
     #[test]
+    fn f32_factor_close_to_f64() {
+        let a = spd_matrix(10, 3);
+        let a32: Matrix<f32> = a.cast();
+        let b: Vec<f32> = (0..10).map(|i| (i as f32).sin()).collect();
+        let x32 = solve_spd(&a32, &b).unwrap();
+        let b64: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+        let x64 = solve_spd(&a, &b64).unwrap();
+        for (u, v) in x32.iter().zip(&x64) {
+            assert!((*u as f64 - v).abs() < 1e-4, "{u} vs {v}");
+        }
+    }
+
+    #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
         match CholeskyFactor::new(&a) {
@@ -248,7 +268,7 @@ mod tests {
 
     #[test]
     fn log_det_of_identity_is_zero() {
-        let f = CholeskyFactor::new(&Matrix::identity(5)).unwrap();
+        let f = CholeskyFactor::new(&Matrix::<f64>::identity(5)).unwrap();
         assert!(f.log_det().abs() < 1e-14);
     }
 }

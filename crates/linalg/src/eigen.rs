@@ -7,9 +7,20 @@
 //! eigendecomposes the `s x s` *subsample* kernel matrix, so a dense
 //! `O(s^3)` solver is exactly what the paper's Algorithm 1 calls for.
 //!
+//! The iteration itself always runs in `f64` — that is the [`Scalar::Accum`]
+//! contract: eigensolves are *setup-time* (once per training run, `O(s³)` on
+//! an `s x s` matrix), so unlike the per-iteration GEMM hot paths they cost
+//! nothing to keep in double precision, while the spectrum they produce
+//! feeds the analytic step size where f32 rounding would be structural
+//! error. Generic callers get their input upcast, solved, and the
+//! eigenvectors rounded back to `S`; [`sym_eig_f64`] exposes the
+//! full-precision spectrum for precision-sensitive consumers (the
+//! preconditioner keeps eigen*values* in f64 even when training in f32).
+//!
 //! Eigenvalues are returned in **descending** order (the kernel-methods
 //! convention `λ₁ ≥ λ₂ ≥ …`).
 
+use crate::scalar::{cast_slice, Scalar};
 use crate::{LinalgError, Matrix};
 
 /// Maximum QL iterations per eigenvalue before reporting failure.
@@ -17,21 +28,25 @@ const MAX_QL_ITERS: usize = 64;
 
 /// A full symmetric eigendecomposition `A = V diag(λ) V^T`.
 #[derive(Debug, Clone)]
-pub struct EigenDecomposition {
+pub struct EigenDecomposition<S: Scalar = f64> {
     /// Eigenvalues in descending order.
-    pub values: Vec<f64>,
+    pub values: Vec<S>,
     /// Orthonormal eigenvectors; column `i` corresponds to `values[i]`.
-    pub vectors: Matrix,
+    pub vectors: Matrix<S>,
 }
 
-impl EigenDecomposition {
+impl<S: Scalar> EigenDecomposition<S> {
     /// The top `q` eigenpairs as `(values, n x q vectors)`.
     ///
     /// # Panics
     ///
     /// Panics if `q` exceeds the decomposition size.
-    pub fn top_q(&self, q: usize) -> (Vec<f64>, Matrix) {
-        assert!(q <= self.values.len(), "q = {q} exceeds {}", self.values.len());
+    pub fn top_q(&self, q: usize) -> (Vec<S>, Matrix<S>) {
+        assert!(
+            q <= self.values.len(),
+            "q = {q} exceeds {}",
+            self.values.len()
+        );
         let n = self.vectors.rows();
         let vals = self.values[..q].to_vec();
         let mut vecs = Matrix::zeros(n, q);
@@ -42,9 +57,19 @@ impl EigenDecomposition {
         }
         (vals, vecs)
     }
+
+    /// Converts the decomposition to another precision.
+    pub fn cast<T: Scalar>(&self) -> EigenDecomposition<T> {
+        EigenDecomposition {
+            values: cast_slice(&self.values),
+            vectors: self.vectors.cast(),
+        }
+    }
 }
 
-/// Computes the full eigendecomposition of the symmetric matrix `a`.
+/// Computes the full eigendecomposition of the symmetric matrix `a`,
+/// returning values/vectors in the input precision. The solve itself runs
+/// in `f64` (see the module docs).
 ///
 /// Only the lower triangle is referenced conceptually; the input is
 /// symmetrised defensively (`(A + A^T)/2`) to wash out round-off asymmetry
@@ -55,7 +80,19 @@ impl EigenDecomposition {
 /// Returns [`LinalgError::NoConvergence`] if the QL iteration fails (does not
 /// happen for finite symmetric input in practice) and
 /// [`LinalgError::InvalidArgument`] if `a` is not square.
-pub fn sym_eig(a: &Matrix) -> Result<EigenDecomposition, LinalgError> {
+pub fn sym_eig<S: Scalar>(a: &Matrix<S>) -> Result<EigenDecomposition<S>, LinalgError> {
+    Ok(sym_eig_f64(a)?.cast())
+}
+
+/// [`sym_eig`] returning the decomposition in full (`f64`) precision
+/// regardless of the input precision — the entry point the EigenPro
+/// preconditioner uses so that spectra stay double-precision under f32 and
+/// mixed-precision training.
+///
+/// # Errors
+///
+/// Same conditions as [`sym_eig`].
+pub fn sym_eig_f64<S: Scalar>(a: &Matrix<S>) -> Result<EigenDecomposition<f64>, LinalgError> {
     if !a.is_square() {
         return Err(LinalgError::InvalidArgument {
             message: format!("sym_eig requires a square matrix, got {:?}", a.shape()),
@@ -68,7 +105,7 @@ pub fn sym_eig(a: &Matrix) -> Result<EigenDecomposition, LinalgError> {
             vectors: Matrix::zeros(0, 0),
         });
     }
-    let mut v = a.clone();
+    let mut v: Matrix<f64> = a.cast();
     v.symmetrize();
     let mut d = vec![0.0_f64; n];
     let mut e = vec![0.0_f64; n];
@@ -93,7 +130,7 @@ pub fn sym_eig(a: &Matrix) -> Result<EigenDecomposition, LinalgError> {
 /// On exit `d` holds the diagonal, `e` the subdiagonal (in `e[1..]`), and `v`
 /// the accumulated orthogonal transformation. This is the EISPACK `tred2`
 /// routine (via the public-domain JAMA translation), 0-indexed.
-fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+fn tred2(v: &mut Matrix<f64>, d: &mut [f64], e: &mut [f64]) {
     let n = d.len();
     for j in 0..n {
         d[j] = v[(n - 1, j)];
@@ -196,7 +233,7 @@ fn tred2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
 
 /// Implicit-shift QL iteration on the tridiagonal matrix produced by
 /// [`tred2`], accumulating eigenvectors into `v` (EISPACK `tql2`).
-fn tql2(v: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
+fn tql2(v: &mut Matrix<f64>, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
     let n = d.len();
     for i in 1..n {
         e[i - 1] = e[i];
@@ -291,7 +328,6 @@ mod tests {
         let v = &decomp.vectors;
         let lam = Matrix::from_diag(&decomp.values);
         let vl = blas::matmul(v, &lam);
-        blas::gemm_nt(1.0, &vl, v, 0.0, &mut { Matrix::zeros(n, n) });
         let mut out = Matrix::zeros(n, n);
         blas::gemm_nt(1.0, &vl, v, 0.0, &mut out);
         out
@@ -324,7 +360,9 @@ mod tests {
         // Deterministic pseudo-random symmetric matrix.
         let mut state = 42_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let n = 40;
@@ -373,6 +411,21 @@ mod tests {
     }
 
     #[test]
+    fn f32_input_solved_in_f64() {
+        // A spectrum spanning more than f32's 24-bit relative precision
+        // still comes out clean because the solve runs in f64 and only the
+        // *input* was f32-rounded.
+        let a32: Matrix<f32> = Matrix::from_diag(&[1.0e4_f32, 1.0, 1.0e-4]);
+        let d = sym_eig_f64(&a32).unwrap();
+        assert!((d.values[0] - 1.0e4).abs() < 1e-3);
+        assert!((d.values[1] - 1.0).abs() < 1e-7);
+        assert!((d.values[2] - 1.0e-4).abs() < 1e-10);
+        // And the native-precision variant matches after rounding.
+        let d32 = sym_eig(&a32).unwrap();
+        assert_eq!(d32.values[0], 1.0e4_f32);
+    }
+
+    #[test]
     fn top_q_extracts_leading_block() {
         let a = Matrix::from_diag(&[5.0, 4.0, 3.0, 2.0]);
         let d = sym_eig(&a).unwrap();
@@ -383,7 +436,7 @@ mod tests {
 
     #[test]
     fn empty_and_single() {
-        let d = sym_eig(&Matrix::zeros(0, 0)).unwrap();
+        let d = sym_eig::<f64>(&Matrix::zeros(0, 0)).unwrap();
         assert!(d.values.is_empty());
         let d1 = sym_eig(&Matrix::from_diag(&[7.0])).unwrap();
         assert_eq!(d1.values, vec![7.0]);
@@ -392,7 +445,7 @@ mod tests {
 
     #[test]
     fn non_square_rejected() {
-        let a = Matrix::zeros(2, 3);
+        let a: Matrix = Matrix::zeros(2, 3);
         assert!(matches!(
             sym_eig(&a),
             Err(LinalgError::InvalidArgument { .. })

@@ -45,7 +45,10 @@ impl fmt::Display for LinalgError {
                 routine,
                 iterations,
             } => {
-                write!(f, "{routine} did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "{routine} did not converge within {iterations} iterations"
+                )
             }
             LinalgError::InvalidArgument { message } => {
                 write!(f, "invalid argument: {message}")

@@ -1,14 +1,20 @@
 //! # ep2-linalg — dense linear algebra substrate for the EigenPro 2.0 reproduction
 //!
 //! This crate provides everything the kernel-machine stack needs from linear
-//! algebra, implemented from scratch with no external BLAS/LAPACK:
+//! algebra, implemented from scratch with no external BLAS/LAPACK, and
+//! **generic over the element precision** via the [`Scalar`] trait
+//! (`f32`/`f64`):
 //!
-//! - [`Matrix`]: a dense, row-major, `f64` matrix with cache-friendly access.
+//! - [`Scalar`]: the precision abstraction. Hot paths compute natively in
+//!   the chosen precision; error-sensitive reductions and eigensolves carry
+//!   a higher-precision accumulator ([`Scalar::Accum`]).
+//! - [`Matrix`]: a dense, row-major matrix (`Matrix<S>`, default `f64`) with
+//!   cache-friendly access.
 //! - [`blas`]: level-1/2/3 routines — `dot`, `axpy`, [`blas::gemv`], and a
 //!   blocked, multi-threaded [`blas::gemm`].
 //! - [`eigen`]: a dense symmetric eigensolver (Householder tridiagonalisation
 //!   followed by implicit-shift QL), the workhorse for Nyström subsample
-//!   eigensystems.
+//!   eigensystems — always solved in `f64` internally.
 //! - [`lanczos`] and [`subspace`]: iterative top-`q` eigensolvers for large
 //!   symmetric operators (Lanczos with full reorthogonalisation, and
 //!   randomized subspace iteration).
@@ -27,6 +33,11 @@
 //! let mut c = Matrix::zeros(2, 2);
 //! blas::gemm(1.0, &a, &b, 0.0, &mut c);
 //! assert_eq!(c, a);
+//!
+//! // The same routines, single precision:
+//! let a32: Matrix<f32> = a.cast();
+//! let c32 = blas::matmul(&a32, &Matrix::<f32>::identity(2));
+//! assert_eq!(c32, a32);
 //! ```
 
 #![warn(missing_docs)]
@@ -34,6 +45,7 @@
 
 mod error;
 mod matrix;
+mod scalar;
 
 pub mod blas;
 pub mod cholesky;
@@ -47,13 +59,15 @@ pub mod subspace;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
+pub use scalar::{cast_slice, Scalar};
 
-/// A symmetric linear operator `y = A x` on `R^n`.
+/// A symmetric linear operator `y = A x` on `R^n` over scalars `S`
+/// (default `f64`, so existing `dyn SymOp` bounds keep their meaning).
 ///
 /// Iterative eigensolvers ([`lanczos`], [`subspace`]) only touch the operator
 /// through matrix–vector products, so large kernel matrices never need to be
 /// materialised.
-pub trait SymOp {
+pub trait SymOp<S: Scalar = f64> {
     /// Dimension `n` of the operator.
     fn dim(&self) -> usize;
 
@@ -63,17 +77,17 @@ pub trait SymOp {
     ///
     /// Implementations may panic if `x.len() != self.dim()` or
     /// `y.len() != self.dim()`.
-    fn apply(&self, x: &[f64], y: &mut [f64]);
+    fn apply(&self, x: &[S], y: &mut [S]);
 }
 
-impl SymOp for Matrix {
+impl<S: Scalar> SymOp<S> for Matrix<S> {
     fn dim(&self) -> usize {
         debug_assert_eq!(self.rows(), self.cols(), "SymOp requires a square matrix");
         self.rows()
     }
 
-    fn apply(&self, x: &[f64], y: &mut [f64]) {
-        blas::gemv(1.0, self, x, 0.0, y);
+    fn apply(&self, x: &[S], y: &mut [S]) {
+        blas::gemv(S::ONE, self, x, S::ZERO, y);
     }
 }
 
@@ -88,5 +102,14 @@ mod tests {
         let mut y = [0.0, 0.0];
         a.apply(&x, &mut y);
         assert_eq!(y, [3.0, 3.0]);
+    }
+
+    #[test]
+    fn f32_matrix_is_symop() {
+        let a: Matrix<f32> = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).cast();
+        let x = [1.0_f32, 1.0];
+        let mut y = [0.0_f32, 0.0];
+        a.apply(&x, &mut y);
+        assert_eq!(y, [3.0_f32, 3.0]);
     }
 }

@@ -1,11 +1,17 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
-/// A dense, row-major matrix of `f64` values.
+use crate::scalar::Scalar;
+
+/// A dense, row-major matrix, generic over the element precision `S`
+/// (default `f64`, so `Matrix` in type position keeps its historical
+/// meaning).
 ///
 /// Rows are stored contiguously, so [`Matrix::row`] is a cheap slice view and
 /// row-wise kernels (the dominant access pattern in kernel machines, where a
-/// row is a data point) are cache friendly.
+/// row is a data point) are cache friendly. An f32 matrix occupies half the
+/// memory of its f64 counterpart — which is exactly the lever the paper's
+/// resource model `S_G` measures (see `ep2_device`).
 ///
 /// # Example
 ///
@@ -15,26 +21,30 @@ use std::ops::{Index, IndexMut};
 /// let m = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
 /// assert_eq!(m[(1, 2)], 5.0);
 /// assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+///
+/// // Same code, single precision:
+/// let m32: Matrix<f32> = m.cast();
+/// assert_eq!(m32[(1, 2)], 5.0_f32);
 /// ```
 #[derive(Clone, PartialEq)]
-pub struct Matrix {
+pub struct Matrix<S: Scalar = f64> {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    data: Vec<S>,
 }
 
-impl Matrix {
+impl<S: Scalar> Matrix<S> {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![S::ZERO; rows * cols],
         }
     }
 
     /// Creates a `rows x cols` matrix with every entry set to `value`.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+    pub fn filled(rows: usize, cols: usize, value: S) -> Self {
         Matrix {
             rows,
             cols,
@@ -46,13 +56,13 @@ impl Matrix {
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);
         for i in 0..n {
-            m[(i, i)] = 1.0;
+            m[(i, i)] = S::ONE;
         }
         m
     }
 
     /// Creates a matrix from a closure `f(i, j)` evaluated at every entry.
-    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -67,7 +77,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the rows do not all have the same length.
-    pub fn from_rows(rows: &[&[f64]]) -> Self {
+    pub fn from_rows(rows: &[&[S]]) -> Self {
         if rows.is_empty() {
             return Matrix::zeros(0, 0);
         }
@@ -89,7 +99,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<S>) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
@@ -100,13 +110,23 @@ impl Matrix {
     }
 
     /// Creates a diagonal matrix from the given diagonal entries.
-    pub fn from_diag(diag: &[f64]) -> Self {
+    pub fn from_diag(diag: &[S]) -> Self {
         let n = diag.len();
         let mut m = Matrix::zeros(n, n);
         for (i, &d) in diag.iter().enumerate() {
             m[(i, i)] = d;
         }
         m
+    }
+
+    /// Converts every entry to another precision (via `f64`, which is
+    /// lossless for widening and correctly rounded for narrowing).
+    pub fn cast<T: Scalar>(&self) -> Matrix<T> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| T::from_f64(v.to_f64())).collect(),
+        }
     }
 
     /// Number of rows.
@@ -143,7 +163,7 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[S] {
         assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
@@ -154,7 +174,7 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [S] {
         assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
@@ -164,7 +184,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `j >= self.cols()`.
-    pub fn col(&self, j: usize) -> Vec<f64> {
+    pub fn col(&self, j: usize) -> Vec<S> {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
@@ -174,7 +194,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `j >= self.cols()` or `values.len() != self.rows()`.
-    pub fn set_col(&mut self, j: usize, values: &[f64]) {
+    pub fn set_col(&mut self, j: usize, values: &[S]) {
         assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
         assert_eq!(values.len(), self.rows);
         for (i, &v) in values.iter().enumerate() {
@@ -184,23 +204,23 @@ impl Matrix {
 
     /// The full row-major buffer.
     #[inline]
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[S] {
         &self.data
     }
 
     /// The full row-major buffer, mutably.
     #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
         &mut self.data
     }
 
     /// Consumes the matrix and returns its row-major buffer.
-    pub fn into_vec(self) -> Vec<f64> {
+    pub fn into_vec(self) -> Vec<S> {
         self.data
     }
 
     /// Returns the transposed matrix.
-    pub fn transpose(&self) -> Matrix {
+    pub fn transpose(&self) -> Matrix<S> {
         let mut t = Matrix::zeros(self.cols, self.rows);
         // Blocked transpose for cache friendliness on large matrices.
         const B: usize = 32;
@@ -222,7 +242,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
-    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix<S> {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
@@ -235,7 +255,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the block extends past the matrix bounds.
-    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
+    pub fn submatrix(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix<S> {
         assert!(row0 + rows <= self.rows && col0 + cols <= self.cols);
         let mut out = Matrix::zeros(rows, cols);
         for i in 0..rows {
@@ -246,27 +266,29 @@ impl Matrix {
     }
 
     /// The main diagonal as a vector.
-    pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).collect()
+    pub fn diag(&self) -> Vec<S> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self[(i, i)])
+            .collect()
     }
 
     /// Trace (sum of diagonal entries).
-    pub fn trace(&self) -> f64 {
-        self.diag().iter().sum()
+    pub fn trace(&self) -> S {
+        self.diag().iter().copied().sum()
     }
 
     /// Frobenius norm, computed with a scaled accumulation to avoid overflow.
-    pub fn frobenius_norm(&self) -> f64 {
+    pub fn frobenius_norm(&self) -> S {
         crate::ops::norm2(&self.data)
     }
 
     /// Maximum absolute entry (`max |a_ij|`), or 0 for an empty matrix.
-    pub fn max_abs(&self) -> f64 {
-        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    pub fn max_abs(&self) -> S {
+        self.data.iter().fold(S::ZERO, |m, &v| m.max(v.abs()))
     }
 
     /// Entry-wise scaling in place: `A <- s * A`.
-    pub fn scale(&mut self, s: f64) {
+    pub fn scale(&mut self, s: S) {
         for v in &mut self.data {
             *v *= s;
         }
@@ -279,9 +301,10 @@ impl Matrix {
     /// Panics if the matrix is not square.
     pub fn symmetrize(&mut self) {
         assert!(self.is_square(), "symmetrize requires a square matrix");
+        let half = S::from_f64(0.5);
         for i in 0..self.rows {
             for j in (i + 1)..self.cols {
-                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                let avg = half * (self[(i, j)] + self[(j, i)]);
                 self[(i, j)] = avg;
                 self[(j, i)] = avg;
             }
@@ -293,9 +316,9 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if the matrix is not square.
-    pub fn asymmetry(&self) -> f64 {
+    pub fn asymmetry(&self) -> S {
         assert!(self.is_square());
-        let mut worst = 0.0_f64;
+        let mut worst = S::ZERO;
         for i in 0..self.rows {
             for j in (i + 1)..self.cols {
                 worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
@@ -305,27 +328,27 @@ impl Matrix {
     }
 }
 
-impl Index<(usize, usize)> for Matrix {
-    type Output = f64;
+impl<S: Scalar> Index<(usize, usize)> for Matrix<S> {
+    type Output = S;
 
     #[inline]
-    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+    fn index(&self, (i, j): (usize, usize)) -> &S {
         debug_assert!(i < self.rows && j < self.cols);
         &self.data[i * self.cols + j]
     }
 }
 
-impl IndexMut<(usize, usize)> for Matrix {
+impl<S: Scalar> IndexMut<(usize, usize)> for Matrix<S> {
     #[inline]
-    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
         debug_assert!(i < self.rows && j < self.cols);
         &mut self.data[i * self.cols + j]
     }
 }
 
-impl fmt::Debug for Matrix {
+impl<S: Scalar> fmt::Debug for Matrix<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        writeln!(f, "Matrix<{}> {}x{} [", S::NAME, self.rows, self.cols)?;
         let show_rows = self.rows.min(6);
         for i in 0..show_rows {
             let row = self.row(i);
@@ -346,14 +369,14 @@ mod tests {
 
     #[test]
     fn zeros_and_shape() {
-        let m = Matrix::zeros(3, 4);
+        let m: Matrix = Matrix::zeros(3, 4);
         assert_eq!(m.shape(), (3, 4));
         assert!(m.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn identity_diag() {
-        let m = Matrix::identity(4);
+        let m: Matrix = Matrix::identity(4);
         assert_eq!(m.trace(), 4.0);
         assert_eq!(m.diag(), vec![1.0; 4]);
         assert_eq!(m[(0, 1)], 0.0);
@@ -400,7 +423,7 @@ mod tests {
 
     #[test]
     fn col_set_col() {
-        let mut m = Matrix::zeros(3, 2);
+        let mut m: Matrix = Matrix::zeros(3, 2);
         m.set_col(1, &[1.0, 2.0, 3.0]);
         assert_eq!(m.col(1), vec![1.0, 2.0, 3.0]);
         assert_eq!(m.col(0), vec![0.0; 3]);
@@ -413,15 +436,27 @@ mod tests {
     }
 
     #[test]
+    fn f32_matrix_round_trip() {
+        let m64 = Matrix::from_fn(7, 5, |i, j| (i as f64 - j as f64) * 0.25);
+        let m32: Matrix<f32> = m64.cast();
+        assert_eq!(m32.shape(), (7, 5));
+        // Quarter-steps are exactly representable in f32.
+        assert_eq!(m32.cast::<f64>(), m64);
+        assert_eq!(m32.transpose()[(3, 2)], m32[(2, 3)]);
+    }
+
+    #[test]
     #[should_panic(expected = "row index")]
     fn row_out_of_bounds_panics() {
-        let m = Matrix::zeros(2, 2);
+        let m: Matrix = Matrix::zeros(2, 2);
         let _ = m.row(2);
     }
 
     #[test]
     fn debug_is_nonempty() {
-        let m = Matrix::zeros(1, 1);
+        let m: Matrix = Matrix::zeros(1, 1);
         assert!(!format!("{m:?}").is_empty());
+        let m32: Matrix<f32> = Matrix::zeros(1, 1);
+        assert!(format!("{m32:?}").contains("f32"));
     }
 }

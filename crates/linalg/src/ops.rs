@@ -1,16 +1,26 @@
-//! Level-1 vector operations and numerically careful helpers.
+//! Level-1 vector operations and numerically careful helpers, generic over
+//! the element precision [`Scalar`].
+//!
+//! Hot-path kernels ([`dot`], [`axpy`], [`sq_dist`]) compute natively in `S`
+//! — that is where f32's doubled SIMD width and halved memory traffic pay
+//! off. Error-sensitive reductions ([`dot_accum`], [`norm2`]) carry their
+//! accumulator in [`Scalar::Accum`] (f64 for both precisions), so
+//! orthogonalisation and step-size-critical quantities do not degrade under
+//! f32 storage.
 
-/// Dot product `x . y`.
+use crate::scalar::Scalar;
+
+/// Dot product `x . y`, accumulated natively in `S`.
 ///
 /// # Panics
 ///
 /// Panics if `x.len() != y.len()`.
 #[inline]
-pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     // Unrolled four-way accumulation: ~4x faster than a naive loop without
     // `-ffast-math`, and slightly more accurate (pairwise-ish summation).
-    let mut acc = [0.0_f64; 4];
+    let mut acc = [S::ZERO; 4];
     let chunks = x.len() / 4;
     for c in 0..chunks {
         let i = c * 4;
@@ -19,11 +29,28 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
         acc[2] += x[i + 2] * y[i + 2];
         acc[3] += x[i + 3] * y[i + 3];
     }
-    let mut tail = 0.0;
+    let mut tail = S::ZERO;
     for i in chunks * 4..x.len() {
         tail += x[i] * y[i];
     }
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Dot product accumulated in the wider [`Scalar::Accum`] type and rounded
+/// back to `S` — for reorthogonalisation and other places where f32
+/// cancellation error would compound structurally.
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot_accum<S: Scalar>(x: &[S], y: &[S]) -> S {
+    assert_eq!(x.len(), y.len(), "dot_accum: length mismatch");
+    let mut acc = S::Accum::ZERO;
+    for (a, b) in x.iter().zip(y) {
+        acc += a.accum() * b.accum();
+    }
+    S::from_accum(acc)
 }
 
 /// `y <- a * x + y`.
@@ -32,50 +59,51 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
 ///
 /// Panics if `x.len() != y.len()`.
 #[inline]
-pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+pub fn axpy<S: Scalar>(a: S, x: &[S], y: &mut [S]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += a * xi;
+        *yi += a * *xi;
     }
 }
 
 /// `x <- a * x`.
 #[inline]
-pub fn scal(a: f64, x: &mut [f64]) {
+pub fn scal<S: Scalar>(a: S, x: &mut [S]) {
     for v in x {
         *v *= a;
     }
 }
 
-/// Euclidean norm with overflow-safe scaling (like LAPACK `dnrm2`).
-pub fn norm2(x: &[f64]) -> f64 {
-    let mut scale = 0.0_f64;
-    let mut ssq = 1.0_f64;
+/// Euclidean norm with overflow-safe scaling (like LAPACK `dnrm2`), the
+/// scaled sum-of-squares carried in [`Scalar::Accum`].
+pub fn norm2<S: Scalar>(x: &[S]) -> S {
+    let mut scale = S::Accum::ZERO;
+    let mut ssq = S::Accum::ONE;
     for &v in x {
-        if v != 0.0 {
-            let a = v.abs();
+        if v != S::ZERO {
+            let a = v.accum().abs();
             if scale < a {
-                ssq = 1.0 + ssq * (scale / a).powi(2);
+                ssq = S::Accum::ONE + ssq * (scale / a).powi(2);
                 scale = a;
             } else {
                 ssq += (a / scale).powi(2);
             }
         }
     }
-    scale * ssq.sqrt()
+    S::from_accum(scale * ssq.sqrt())
 }
 
-/// Squared Euclidean distance `||x - y||^2`.
+/// Squared Euclidean distance `||x - y||^2`, computed natively in `S`.
 ///
 /// # Panics
 ///
 /// Panics if `x.len() != y.len()`.
 #[inline]
-pub fn sq_dist(x: &[f64], y: &[f64]) -> f64 {
+pub fn sq_dist<S: Scalar>(x: &[S], y: &[S]) -> S {
     assert_eq!(x.len(), y.len(), "sq_dist: length mismatch");
-    let mut acc = 0.0;
+    let mut acc = S::ZERO;
     for (a, b) in x.iter().zip(y) {
-        let d = a - b;
+        let d = *a - *b;
         acc += d * d;
     }
     acc
@@ -120,8 +148,8 @@ pub fn variance(x: &[f64]) -> f64 {
 /// Index and value of the maximum element.
 ///
 /// Returns `None` for an empty slice; `NaN` entries are skipped.
-pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
-    let mut best: Option<(usize, f64)> = None;
+pub fn argmax<S: Scalar>(x: &[S]) -> Option<(usize, S)> {
+    let mut best: Option<(usize, S)> = None;
     for (i, &v) in x.iter().enumerate() {
         if v.is_nan() {
             continue;
@@ -152,6 +180,18 @@ mod tests {
     }
 
     #[test]
+    fn dot_works_in_f32() {
+        let x: Vec<f32> = (0..64).map(|i| i as f32 * 0.5).collect();
+        let y = vec![1.0_f32; 64];
+        let expect: f32 = (0..64).map(|i| i as f32 * 0.5).sum();
+        assert!((dot(&x, &y) - expect).abs() < 1e-3);
+        // The Accum variant agrees with the f64 computation to f32 eps.
+        let xd: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+        let yd = vec![1.0_f64; 64];
+        assert!((dot_accum(&x, &y) as f64 - dot(&xd, &yd)).abs() < 1e-3);
+    }
+
+    #[test]
     fn axpy_updates() {
         let x = [1.0, 2.0];
         let mut y = [10.0, 20.0];
@@ -168,14 +208,24 @@ mod tests {
     }
 
     #[test]
+    fn norm2_f32_overflow_safe() {
+        // Values whose squares overflow f32 (but whose norm is still
+        // representable): the Accum-carried sum survives.
+        let x = [2.0e38_f32, 2.0e38];
+        let n = norm2(&x);
+        assert!(n.is_finite() && n > 2.0e38_f32, "norm2 = {n}");
+    }
+
+    #[test]
     fn norm2_zero_vector() {
         assert_eq!(norm2(&[0.0, 0.0, 0.0]), 0.0);
-        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm2::<f64>(&[]), 0.0);
     }
 
     #[test]
     fn sq_dist_basic() {
         assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(sq_dist(&[0.0_f32], &[2.0_f32]), 4.0_f32);
     }
 
     #[test]
@@ -198,7 +248,7 @@ mod tests {
     fn argmax_skips_nan() {
         let xs = [1.0, f64::NAN, 3.0, 2.0];
         assert_eq!(argmax(&xs), Some((2, 3.0)));
-        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax::<f64>(&[]), None);
     }
 
     #[test]

@@ -65,11 +65,13 @@ where
     };
     // Wrap each chunk in a Mutex-free cell: each index is claimed exactly once.
     type ChunkCell<'a, T> = std::sync::Mutex<Option<(usize, &'a mut [T])>>;
-    let cells: Vec<ChunkCell<'_, T>> =
-        chunks.into_iter().map(|c| std::sync::Mutex::new(Some(c))).collect();
-    crossbeam::thread::scope(|scope| {
+    let cells: Vec<ChunkCell<'_, T>> = chunks
+        .into_iter()
+        .map(|c| std::sync::Mutex::new(Some(c)))
+        .collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(total_chunks) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let idx = next.fetch_add(1, Ordering::Relaxed);
                 if idx >= cells.len() {
                     break;
@@ -80,8 +82,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Runs `f(i)` for every `i in 0..n` across `num_threads()` scoped threads,
@@ -98,9 +99,9 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -108,8 +109,7 @@ where
                 f(i);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Maps `f` over `0..n` in parallel and collects the results in order.

@@ -1,12 +1,16 @@
-//! Thin orthonormalisation used by the iterative eigensolvers.
+//! Thin orthonormalisation used by the iterative eigensolvers, generic over
+//! the element precision [`Scalar`].
 //!
 //! [`orthonormalize_columns`] runs modified Gram–Schmidt with one
 //! reorthogonalisation pass ("twice is enough", Giraud et al.), which keeps
 //! the basis orthonormal to machine precision even for ill-conditioned input
 //! blocks — important because randomized subspace iteration feeds it
-//! near-collinear power iterates.
+//! near-collinear power iterates. Projection coefficients accumulate in
+//! [`Scalar::Accum`] so the f32 instantiation stays orthonormal to ~f32 eps
+//! rather than drifting with the block size.
 
 use crate::ops;
+use crate::scalar::Scalar;
 use crate::Matrix;
 
 /// Orthonormalises the columns of `a` in place and returns the numerical
@@ -14,31 +18,31 @@ use crate::Matrix;
 ///
 /// Columns whose remaining norm falls below `tol * max_initial_norm` are
 /// treated as linearly dependent and zeroed.
-pub fn orthonormalize_columns(a: &mut Matrix, tol: f64) -> usize {
+pub fn orthonormalize_columns<S: Scalar>(a: &mut Matrix<S>, tol: f64) -> usize {
     let (n, k) = a.shape();
     if n == 0 || k == 0 {
         return 0;
     }
-    let mut cols: Vec<Vec<f64>> = (0..k).map(|j| a.col(j)).collect();
-    let max_norm = cols.iter().map(|c| ops::norm2(c)).fold(0.0_f64, f64::max);
-    let threshold = tol * max_norm.max(f64::MIN_POSITIVE);
+    let mut cols: Vec<Vec<S>> = (0..k).map(|j| a.col(j)).collect();
+    let max_norm = cols.iter().map(|c| ops::norm2(c)).fold(S::ZERO, S::max);
+    let threshold = S::from_f64(tol) * max_norm.max(S::from_f64(f64::MIN_POSITIVE));
     let mut rank = 0;
     for j in 0..k {
         // Two passes of projection against the established basis.
         for _pass in 0..2 {
             for b in 0..rank {
                 let (head, tail) = cols.split_at_mut(j);
-                let proj = ops::dot(&head[b], &tail[0]);
+                let proj = ops::dot_accum(&head[b], &tail[0]);
                 ops::axpy(-proj, &head[b], &mut tail[0]);
             }
         }
         let norm = ops::norm2(&cols[j]);
         if norm > threshold {
-            ops::scal(1.0 / norm, &mut cols[j]);
+            ops::scal(S::ONE / norm, &mut cols[j]);
             cols.swap(rank, j);
             rank += 1;
         } else {
-            cols[j].iter_mut().for_each(|v| *v = 0.0);
+            cols[j].iter_mut().for_each(|v| *v = S::ZERO);
         }
     }
     for (j, col) in cols.iter().enumerate() {
@@ -49,13 +53,13 @@ pub fn orthonormalize_columns(a: &mut Matrix, tol: f64) -> usize {
 
 /// Measures the departure from orthonormality `max |Q^T Q - I|` of the first
 /// `rank` columns — a test/debug helper.
-pub fn orthonormality_defect(q: &Matrix, rank: usize) -> f64 {
+pub fn orthonormality_defect<S: Scalar>(q: &Matrix<S>, rank: usize) -> f64 {
     let mut worst = 0.0_f64;
     for i in 0..rank {
         let ci = q.col(i);
         for j in i..rank {
             let cj = q.col(j);
-            let d = ops::dot(&ci, &cj);
+            let d = ops::dot_accum(&ci, &cj).to_f64();
             let expect = if i == j { 1.0 } else { 0.0 };
             worst = worst.max((d - expect).abs());
         }
@@ -83,11 +87,7 @@ mod tests {
     #[test]
     fn detects_rank_deficiency() {
         // Third column = first + second.
-        let mut a = Matrix::from_rows(&[
-            &[1.0, 0.0, 1.0],
-            &[0.0, 1.0, 1.0],
-            &[0.0, 0.0, 0.0],
-        ]);
+        let mut a = Matrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0], &[0.0, 0.0, 0.0]]);
         let rank = orthonormalize_columns(&mut a, 1e-10);
         assert_eq!(rank, 2);
         // Dependent column is zeroed.
@@ -109,8 +109,19 @@ mod tests {
     }
 
     #[test]
+    fn f32_basis_orthonormal_to_f32_eps() {
+        let n = 60;
+        let mut a: Matrix<f32> = Matrix::from_fn(n, 4, |i, j| {
+            (((i * 13 + j * 7 + 1) % 29) as f32) / 29.0 - 0.5
+        });
+        let rank = orthonormalize_columns(&mut a, 1e-6);
+        assert_eq!(rank, 4);
+        assert!(orthonormality_defect(&a, rank) < 1e-5);
+    }
+
+    #[test]
     fn empty_input() {
-        let mut a = Matrix::zeros(0, 0);
+        let mut a: Matrix = Matrix::zeros(0, 0);
         assert_eq!(orthonormalize_columns(&mut a, 1e-12), 0);
     }
 }

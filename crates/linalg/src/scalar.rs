@@ -1,0 +1,250 @@
+//! The [`Scalar`] abstraction: one trait that the whole numeric stack —
+//! [`crate::Matrix`], [`crate::ops`], [`crate::blas`], the eigensolvers, and
+//! the kernel/training crates above — is generic over.
+//!
+//! Two instantiations exist: `f32` (the precision the paper's GPU
+//! implementation runs in — half the memory per element, so Step 1's
+//! `m^max_G` doubles, and roughly double throughput on the memory-bound
+//! GEMM/kernel-assembly hot paths) and `f64` (the default, used wherever
+//! numerical headroom matters more than speed).
+//!
+//! Each scalar carries an associated **accumulator type** [`Scalar::Accum`]
+//! (`f64` for both instantiations): reductions whose error feeds analytic
+//! decisions — norms, Lanczos/QR reorthogonalisation coefficients, and the
+//! dense eigensolves behind the EigenPro preconditioner — are carried out in
+//! `Accum` precision even when the bulk data is `f32`. This mirrors what
+//! well-behaved GPU kernel implementations do (f32 storage, f32 FMA with
+//! wider accumulation where it is cheap) and is what makes the `Mixed`
+//! training policy in `ep2-core` numerically equivalent to `F64` for the
+//! spectral quantities while keeping the hot loops in `f32`.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A floating-point element type for the numeric stack.
+///
+/// Implemented for `f32` and `f64`. All constants enter through
+/// [`Scalar::from_f64`], so generic code is written once and monomorphised
+/// per precision with no runtime dispatch on the hot paths.
+pub trait Scalar:
+    Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + fmt::Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum<Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Wider type used for error-sensitive accumulation (`f64` for both
+    /// `f32` and `f64`; lossless to convert into from `Self`).
+    type Accum: Scalar<Accum = Self::Accum>;
+
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of this precision.
+    const EPSILON: Self;
+    /// Short type name for reports/CLIs (`"f32"`, `"f64"`).
+    const NAME: &'static str;
+    /// Storage width in bytes (4 or 8). (The device crate's
+    /// `Precision::bytes_per_element` is the source of truth for memory
+    /// accounting; this constant describes the scalar itself.)
+    const BYTES: usize;
+
+    /// Converts from `f64`, rounding to this precision.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` (lossless for both instantiations).
+    fn to_f64(self) -> f64;
+
+    /// Widens into the accumulator type (lossless).
+    #[inline]
+    fn accum(self) -> Self::Accum {
+        Self::Accum::from_f64(self.to_f64())
+    }
+
+    /// Narrows from the accumulator type (rounds for `f32`).
+    #[inline]
+    fn from_accum(a: Self::Accum) -> Self {
+        Self::from_f64(a.to_f64())
+    }
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Integer power.
+    fn powi(self, n: i32) -> Self;
+    /// Real power.
+    fn powf(self, e: Self) -> Self;
+    /// Overflow-safe `sqrt(self² + other²)`.
+    fn hypot(self, other: Self) -> Self;
+    /// Larger of two values (NaN-propagating like `f64::max`).
+    fn max(self, other: Self) -> Self;
+    /// Smaller of two values.
+    fn min(self, other: Self) -> Self;
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` for finite values.
+    fn is_finite(self) -> bool;
+    /// `true` for NaN.
+    fn is_nan(self) -> bool;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $name:literal, $bytes:literal) => {
+        impl Scalar for $t {
+            type Accum = f64;
+
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+            const NAME: &'static str = $name;
+            const BYTES: usize = $bytes;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+
+            #[inline]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+
+            #[inline]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+
+            #[inline]
+            fn powf(self, e: Self) -> Self {
+                <$t>::powf(self, e)
+            }
+
+            #[inline]
+            fn hypot(self, other: Self) -> Self {
+                <$t>::hypot(self, other)
+            }
+
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+
+            #[inline]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32, "f32", 4);
+impl_scalar!(f64, "f64", 8);
+
+/// Casts a slice between scalar precisions.
+pub fn cast_slice<A: Scalar, B: Scalar>(src: &[A]) -> Vec<B> {
+    src.iter().map(|&v| B::from_f64(v.to_f64())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_sum<S: Scalar>(xs: &[S]) -> S {
+        xs.iter().copied().sum()
+    }
+
+    #[test]
+    fn constants_and_conversions() {
+        assert_eq!(f32::NAME, "f32");
+        assert_eq!(f64::NAME, "f64");
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        assert_eq!(<f32 as Scalar>::from_f64(1.5), 1.5_f32);
+        assert_eq!(Scalar::to_f64(2.5_f32), 2.5_f64);
+    }
+
+    #[test]
+    fn accum_is_wider_for_f32() {
+        // f32 accumulates in f64: summing 1e-4 a million times stays exact
+        // to ~1e-10 through the accumulator but drifts visibly in raw f32.
+        let mut acc = <f32 as Scalar>::Accum::ZERO;
+        let mut raw = 0.0_f32;
+        for _ in 0..1_000_000 {
+            acc += Scalar::accum(1e-4_f32);
+            raw += 1e-4_f32;
+        }
+        assert!((acc.to_f64() - 1e-4_f32 as f64 * 1e6).abs() < 1e-6);
+        assert!((raw as f64 - 100.0).abs() > 1e-2, "raw f32 drift expected");
+    }
+
+    #[test]
+    fn generic_math_works_for_both() {
+        assert_eq!(generic_sum(&[1.0_f32, 2.0, 3.0]), 6.0);
+        assert_eq!(generic_sum(&[1.0_f64, 2.0, 3.0]), 6.0);
+        assert!((Scalar::sqrt(2.0_f32) - std::f32::consts::SQRT_2).abs() < 1e-7);
+        assert_eq!(Scalar::mul_add(2.0_f64, 3.0, 4.0), 10.0);
+    }
+
+    #[test]
+    fn cast_slice_round_trips() {
+        let xs = [1.0_f64, -2.5, 0.125];
+        let ys: Vec<f32> = cast_slice(&xs);
+        let back: Vec<f64> = cast_slice(&ys);
+        assert_eq!(back, xs);
+    }
+}

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         train.name,
         train.len()
     );
-    println!("{:>8} | {:^28} | {:^28}", "batch m", "EigenPro 2.0", "plain SGD");
+    println!(
+        "{:>8} | {:^28} | {:^28}",
+        "batch m", "EigenPro 2.0", "plain SGD"
+    );
     println!("{:->8}-+-{:-^28}-+-{:-^28}", "", "", "");
 
     for m in [4usize, 16, 64, 256, 1024] {

@@ -45,56 +45,113 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         device.clone(),
     )
     .fit(&train, Some(&test))?;
-    report("EigenPro 2.0", ep2.report.final_val_error.unwrap(), t.elapsed().as_secs_f64());
+    report(
+        "EigenPro 2.0",
+        ep2.report.final_val_error.unwrap(),
+        t.elapsed().as_secs_f64(),
+    );
 
     // Plain SGD, same epoch budget.
     let t = std::time::Instant::now();
     let s = sgd::train(
-        &sgd::SgdConfig { kernel, bandwidth, epochs: 8, batch_size: 64, seed: 1, ..sgd::SgdConfig::default() },
+        &sgd::SgdConfig {
+            kernel,
+            bandwidth,
+            epochs: 8,
+            batch_size: 64,
+            seed: 1,
+            ..sgd::SgdConfig::default()
+        },
         &device,
         &train,
         Some(&test),
     )?;
-    report("plain kernel SGD", s.report.final_val_error.unwrap(), t.elapsed().as_secs_f64());
+    report(
+        "plain kernel SGD",
+        s.report.final_val_error.unwrap(),
+        t.elapsed().as_secs_f64(),
+    );
 
     // Original EigenPro.
     let t = std::time::Instant::now();
     let e1 = eigenpro1::train(
-        &eigenpro1::EigenPro1Config { kernel, bandwidth, epochs: 8, batch_size: 128, q: 40, seed: 1, ..eigenpro1::EigenPro1Config::default() },
+        &eigenpro1::EigenPro1Config {
+            kernel,
+            bandwidth,
+            epochs: 8,
+            batch_size: 128,
+            q: 40,
+            seed: 1,
+            ..eigenpro1::EigenPro1Config::default()
+        },
         &device,
         &train,
         Some(&test),
     )?;
-    report("original EigenPro", e1.report.final_val_error.unwrap(), t.elapsed().as_secs_f64());
+    report(
+        "original EigenPro",
+        e1.report.final_val_error.unwrap(),
+        t.elapsed().as_secs_f64(),
+    );
 
     // FALKON.
     let t = std::time::Instant::now();
     let f = falkon::train(
-        &falkon::FalkonConfig { kernel, bandwidth, centers: 400, lambda: 1e-8, cg_iterations: 40, seed: 1, ..falkon::FalkonConfig::default() },
+        &falkon::FalkonConfig {
+            kernel,
+            bandwidth,
+            centers: 400,
+            lambda: 1e-8,
+            cg_iterations: 40,
+            seed: 1,
+            ..falkon::FalkonConfig::default()
+        },
         &device,
         &train,
         Some(&test),
     )?;
-    report("FALKON", f.report.final_val_error.unwrap(), t.elapsed().as_secs_f64());
+    report(
+        "FALKON",
+        f.report.final_val_error.unwrap(),
+        t.elapsed().as_secs_f64(),
+    );
 
     // SMO SVMs.
     let t = std::time::Instant::now();
     let (_, lib) = svm::train(
-        &svm::SvmConfig { kernel, bandwidth, parallel_kernel: false, ..svm::SvmConfig::default() },
+        &svm::SvmConfig {
+            kernel,
+            bandwidth,
+            parallel_kernel: false,
+            ..svm::SvmConfig::default()
+        },
         &ResourceSpec::cpu_host(),
         &train,
         Some(&test),
     )?;
-    report("LibSVM stand-in (SMO)", lib.test_error.unwrap(), t.elapsed().as_secs_f64());
+    report(
+        "LibSVM stand-in (SMO)",
+        lib.test_error.unwrap(),
+        t.elapsed().as_secs_f64(),
+    );
 
     let t = std::time::Instant::now();
     let (_, thunder) = svm::train(
-        &svm::SvmConfig { kernel, bandwidth, parallel_kernel: true, ..svm::SvmConfig::default() },
+        &svm::SvmConfig {
+            kernel,
+            bandwidth,
+            parallel_kernel: true,
+            ..svm::SvmConfig::default()
+        },
         &ResourceSpec::cpu_host(),
         &train,
         Some(&test),
     )?;
-    report("ThunderSVM stand-in", thunder.test_error.unwrap(), t.elapsed().as_secs_f64());
+    report(
+        "ThunderSVM stand-in",
+        thunder.test_error.unwrap(),
+        t.elapsed().as_secs_f64(),
+    );
 
     // Exact interpolation (the solution every iterative method approaches).
     let t = std::time::Instant::now();

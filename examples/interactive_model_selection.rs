@@ -30,11 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sigma0 = bandwidth::median_heuristic(&train.features, 200);
     let grid = bandwidth::bandwidth_grid(sigma0, 3.0, 4);
     let grid_str: Vec<String> = grid.iter().map(|s| format!("{s:.1}")).collect();
-    println!("median-heuristic σ₀ = {sigma0:.1}; grid = [{}]\n", grid_str.join(", "));
+    println!(
+        "median-heuristic σ₀ = {sigma0:.1}; grid = [{}]\n",
+        grid_str.join(", ")
+    );
 
     let mut best: Option<(KernelKind, f64, f64)> = None;
     let start = std::time::Instant::now();
-    for kind in [KernelKind::Gaussian, KernelKind::Laplacian, KernelKind::Cauchy] {
+    for kind in [
+        KernelKind::Gaussian,
+        KernelKind::Laplacian,
+        KernelKind::Cauchy,
+    ] {
         for &sigma in &grid {
             let config = TrainConfig {
                 kernel: kind,

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         train.n_targets()
     );
 
-    for kind in [KernelKind::Gaussian, KernelKind::Matern52, KernelKind::Laplacian] {
+    for kind in [
+        KernelKind::Gaussian,
+        KernelKind::Matern52,
+        KernelKind::Laplacian,
+    ] {
         let config = TrainConfig {
             kernel: kind,
             bandwidth: 2.5,

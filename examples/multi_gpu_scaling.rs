@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .max(precond.probe_lambda_max(&kernel, &train.features, 900, 24, 7));
     let m = 240;
     let eta = critical::optimal_step_size(m, beta_g, lambda);
-    println!("adaptive kernel: q = {}, m = {m}, η = {eta:.1}\n", precond.q());
+    println!(
+        "adaptive kernel: q = {}, m = {m}, η = {eta:.1}\n",
+        precond.q()
+    );
 
     // Live training at toy n proves the decomposition is exact; the timing
     // column projects one epoch at paper scale (n = 1e6, SUSY-shaped)

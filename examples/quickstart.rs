@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  q (Eq. 7) = {}, adjusted q = {}", p.q, p.adjusted_q);
     println!("  step size η = {:.1}", p.eta);
     println!("  m*(k) = {:.1}  →  m*(k_G) = {:.0}", p.m_star, p.m_star_g);
-    println!("  predicted acceleration (Appendix C) = {:.0}x", p.acceleration);
+    println!(
+        "  predicted acceleration (Appendix C) = {:.0}x",
+        p.acceleration
+    );
 
     println!("\ntraining:");
     for e in &outcome.report.epochs {

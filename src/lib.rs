@@ -21,3 +21,9 @@ pub use ep2_data as data;
 pub use ep2_device as device;
 pub use ep2_kernels as kernels;
 pub use ep2_linalg as linalg;
+
+// The two knobs of the precision-generic numeric stack, re-exported at the
+// top level: the `Scalar` trait the whole stack is generic over, and the
+// `Precision` policy that selects f32/f64/mixed training.
+pub use ep2_device::Precision;
+pub use ep2_linalg::Scalar;

@@ -58,7 +58,10 @@ fn adaptive_kernel_preserves_the_solution() {
     let config = TrainConfig {
         kernel: KernelKind::Gaussian,
         bandwidth: 3.0,
-        epochs: 400,
+        // Budget sized for the vendored deterministic RNG's subsample draw
+        // (steady ~0.7%/epoch contraction near convergence; 650 epochs puts
+        // the train MSE a 3x margin below the 1e-4 interpolation threshold).
+        epochs: 650,
         subsample_size: Some(150),
         early_stopping: None,
         target_train_mse: Some(1e-8),
@@ -76,7 +79,10 @@ fn adaptive_kernel_preserves_the_solution() {
     let ep2_pred = outcome.model.predict(&test.features);
     // Held-out predictions agree with the exact interpolant.
     let diff = metrics::mse(&ep2_pred, &exact_pred);
-    let scale = metrics::mse(&exact_pred, &eigenpro2::linalg::Matrix::zeros(test.len(), 2));
+    let scale = metrics::mse(
+        &exact_pred,
+        &eigenpro2::linalg::Matrix::<f64>::zeros(test.len(), 2),
+    );
     assert!(
         diff / scale.max(1e-12) < 0.05,
         "EigenPro 2.0 diverged from the interpolating solution: rel {diff}/{scale}"
@@ -148,7 +154,15 @@ fn step1_batch_plan_flows_into_trainer() {
     let data = catalog::timit_like_small_labels(500, 12, 7);
     let (train, _) = data.split_at(500);
     let device = ResourceSpec::scaled_virtual_gpu();
-    let plan = batch::max_batch(&device, train.len(), train.dim(), train.n_classes);
+    // The trainer defaults to Precision::F64, whose elements cost two
+    // f32-reference memory slots — plan with the same policy.
+    let plan = batch::max_batch_with(
+        &device,
+        train.len(),
+        train.dim(),
+        train.n_classes,
+        eigenpro2::device::Precision::F64,
+    );
     let outcome = EigenPro2::new(
         TrainConfig {
             kernel: KernelKind::Laplacian,
@@ -181,7 +195,11 @@ fn all_kernels_and_catalog_datasets_train() {
         catalog::susy_like(220, 9),
     ];
     for data in datasets {
-        for kind in [KernelKind::Gaussian, KernelKind::Laplacian, KernelKind::Cauchy] {
+        for kind in [
+            KernelKind::Gaussian,
+            KernelKind::Laplacian,
+            KernelKind::Cauchy,
+        ] {
             let (train, test) = data.split_at(180);
             let config = TrainConfig {
                 kernel: kind,

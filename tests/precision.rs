@@ -1,0 +1,212 @@
+//! Precision-agreement properties: the f32 instantiation of the numeric
+//! stack must track the f64 one within analytically justified tolerances,
+//! and the `Mixed` training policy must reproduce `F64` results while
+//! running its hot loop in f32.
+
+use std::sync::Arc;
+
+use eigenpro2::core::trainer::{EigenPro2, TrainConfig};
+use eigenpro2::data::catalog;
+use eigenpro2::device::{batch, Precision, ResourceSpec};
+use eigenpro2::kernels::{matrix as kmat, GaussianKernel, Kernel, KernelKind};
+use eigenpro2::linalg::{blas, Matrix};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0_f64..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GEMM at f32 agrees with f64 within the standard forward error bound:
+    /// for `C = A B` with inner dimension `k` and `|a|, |b| ≤ M`, each entry
+    /// satisfies `|C32 − C64| ≤ γ_k · k · M²` with `γ_k ≈ k·eps_f32`
+    /// (Higham, Accuracy and Stability, §3.5). We allow a 4x safety factor
+    /// on top for the input-rounding step.
+    #[test]
+    fn gemm_f32_within_forward_error_bound(a in small_matrix(12, 16), b in small_matrix(16, 9)) {
+        let c64 = blas::matmul(&a, &b);
+        let c32 = blas::matmul(&a.cast::<f32>(), &b.cast::<f32>());
+        let k = 16.0_f64;
+        let m_bound = 3.0_f64;
+        let bound = 4.0 * (k * f32::EPSILON as f64) * k * m_bound * m_bound;
+        for i in 0..12 {
+            for j in 0..9 {
+                let diff = (c32[(i, j)] as f64 - c64[(i, j)]).abs();
+                prop_assert!(diff <= bound, "({}, {}): diff {} > bound {}", i, j, diff, bound);
+            }
+        }
+    }
+
+    /// Cross-kernel assembly at f32 agrees with f64: kernel values live in
+    /// (0, 1] and every radial profile here is Lipschitz in d² with
+    /// constant ≤ 1/(2σ²) (Gaussian; the others are gentler), while the
+    /// f32 squared-distance error is bounded by `γ_d · (2M)²·d`, so the
+    /// value error is that times the Lipschitz constant, plus one rounding
+    /// of the profile itself.
+    #[test]
+    fn kernel_cross_f32_matches_f64(a in small_matrix(7, 8), b in small_matrix(5, 8), sigma in 0.5_f64..6.0) {
+        let k = GaussianKernel::new(sigma);
+        let kc64 = kmat::kernel_cross::<f64>(&k, &a, &b);
+        let kc32 = kmat::kernel_cross::<f32>(&k, &a.cast(), &b.cast());
+        let d = 8.0_f64;
+        let m_bound = 3.0_f64;
+        let d2_err = 4.0 * (d * f32::EPSILON as f64) * d * (2.0 * m_bound) * (2.0 * m_bound);
+        let lipschitz = 1.0 / (2.0 * sigma * sigma);
+        let bound = d2_err * lipschitz + 4.0 * f32::EPSILON as f64;
+        for i in 0..7 {
+            for j in 0..5 {
+                let diff = (kc32[(i, j)] as f64 - kc64[(i, j)]).abs();
+                prop_assert!(diff <= bound, "({}, {}): diff {} > bound {}", i, j, diff, bound);
+            }
+        }
+    }
+
+    /// Step 1 under f32 always doubles the memory-slot budget, and on
+    /// memory-bound devices the f32 batch is at least double the f64 one
+    /// (`m32 = 2·m64 + (d + l)` exactly, from the slot arithmetic).
+    #[test]
+    fn f32_max_batch_doubles_f64(n in 500_usize..5_000, d in 8_usize..200, l in 1_usize..20) {
+        let spec = ResourceSpec::new("probe", 1e15, 4e6, 1e12, 0.0);
+        prop_assert_eq!(
+            spec.memory_slots(Precision::F32),
+            2.0 * spec.memory_slots(Precision::F64)
+        );
+        let m64 = batch::batch_for_memory_with(&spec, n, d, l, Precision::F64);
+        let m32 = batch::batch_for_memory_with(&spec, n, d, l, Precision::F32);
+        if m64 > 0 {
+            // Exact up to the floor() of the two slot divisions.
+            let expected = (2 * m64 + d + l) as i64;
+            prop_assert!((m32 as i64 - expected).abs() <= 1, "m32 = {}, expected ~{}", m32, expected);
+            prop_assert!(m32 >= 2 * m64);
+        }
+    }
+}
+
+/// One EigenPro epoch executed at f32 tracks the f64 epoch: same analytic
+/// setup (shared f64 preconditioner via `cast`), same batches, and weights
+/// that agree to single-precision accuracy after a full pass.
+#[test]
+fn one_epoch_f32_matches_f64() {
+    use eigenpro2::core::iteration::EigenProIteration;
+    use eigenpro2::core::{KernelModel, Preconditioner};
+
+    let data = catalog::susy_like(240, 5);
+    let (train, _) = data.split_at(240);
+    let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(4.0).into();
+    let p64 = Preconditioner::fit_damped(&kernel, &train.features, 120, 8, 0.95, 3).unwrap();
+    let beta = p64.beta_estimate(&kernel, &train.features, 240, 3);
+    let lambda = p64.lambda1_preconditioned().max(p64.probe_lambda_max(
+        &kernel,
+        &train.features,
+        240,
+        12,
+        3,
+    ));
+    let m = 60;
+    let eta = eigenpro2::core::critical::optimal_step_size(m, beta, lambda);
+
+    let kernel32: Arc<dyn Kernel<f32>> = KernelKind::Gaussian.with_bandwidth_in::<f32>(4.0).into();
+    let mut it64 = EigenProIteration::new(
+        KernelModel::zeros(kernel.clone(), train.features.clone(), train.n_classes),
+        Some(p64.cast::<f64>()),
+        eta,
+    );
+    let mut it32 = EigenProIteration::new(
+        KernelModel::zeros(kernel32, train.features.cast(), train.n_classes),
+        Some(p64.cast::<f32>()),
+        eta,
+    );
+    let targets32: Matrix<f32> = train.targets.cast();
+    for start in (0..240).step_by(m) {
+        let batch: Vec<usize> = (start..start + m).collect();
+        it64.step(&batch, &train.targets);
+        it32.step(&batch, &targets32);
+    }
+    // Weight agreement: one epoch of f32 accumulation over n=240 centers.
+    // Updates are O(η/m)-scaled kernel values; the empirical gap is ~1e-6,
+    // we allow 1e-3 absolute for headroom across platforms.
+    let w64 = it64.model().weights();
+    let w32 = it32.model().weights();
+    let mut worst = 0.0_f64;
+    for (a, b) in w32.as_slice().iter().zip(w64.as_slice()) {
+        worst = worst.max((*a as f64 - b).abs());
+    }
+    assert!(worst < 1e-3, "max weight deviation {worst}");
+}
+
+/// End-to-end: `Precision::F32` and `Precision::F64` train to final MSEs
+/// within 1e-3 of each other, and `Mixed` matches `F64` to ≤ 1e-3 on the
+/// synthetic catalog (the issue's acceptance bound).
+#[test]
+fn full_training_agrees_across_precisions() {
+    for (name, data) in [
+        ("mnist-like", catalog::mnist_like(300, 17)),
+        ("susy-like", catalog::susy_like(300, 18)),
+    ] {
+        let (train, _) = data.split_at(300);
+        let run = |precision| {
+            let config = TrainConfig {
+                kernel: KernelKind::Gaussian,
+                bandwidth: if name == "mnist-like" { 4.0 } else { 3.0 },
+                epochs: 4,
+                subsample_size: Some(120),
+                early_stopping: None,
+                precision,
+                ..TrainConfig::default()
+            };
+            EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu())
+                .fit(&train, None)
+                .unwrap()
+                .report
+        };
+        let f64_report = run(Precision::F64);
+        let f32_report = run(Precision::F32);
+        let mixed_report = run(Precision::Mixed);
+        assert!(
+            (f32_report.final_train_mse - f64_report.final_train_mse).abs() <= 1e-3,
+            "{name}: f32 {} vs f64 {}",
+            f32_report.final_train_mse,
+            f64_report.final_train_mse
+        );
+        assert!(
+            (mixed_report.final_train_mse - f64_report.final_train_mse).abs() <= 1e-3,
+            "{name}: mixed {} vs f64 {}",
+            mixed_report.final_train_mse,
+            f64_report.final_train_mse
+        );
+        // Mixed shares the f64 plan verbatim (spectral scalars are f64 on
+        // both sides of the cast).
+        assert_eq!(mixed_report.params.eta, f64_report.params.eta);
+        assert_eq!(mixed_report.params.adjusted_q, f64_report.params.adjusted_q);
+        assert_eq!(mixed_report.params.s, f64_report.params.s);
+    }
+}
+
+/// EigenPro2::fit runs under every precision policy and reports it.
+#[test]
+fn fit_runs_under_every_policy() {
+    let data = catalog::susy_like(200, 21);
+    let (train, test) = data.split_at(160);
+    for precision in Precision::ALL {
+        let config = TrainConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 4.0,
+            epochs: 2,
+            subsample_size: Some(80),
+            early_stopping: None,
+            precision,
+            ..TrainConfig::default()
+        };
+        let out = EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu())
+            .fit(&train, Some(&test))
+            .unwrap_or_else(|e| panic!("{precision}: {e}"));
+        assert_eq!(out.report.precision, precision);
+        assert!(out.report.final_train_mse.is_finite());
+        // Returned model is always f64-typed and usable downstream.
+        let pred = out.model.predict(&test.features);
+        assert_eq!(pred.shape(), (test.len(), train.n_classes));
+    }
+}

@@ -39,7 +39,7 @@ fn falkon_with_all_centers_matches_direct_solver() {
     let fk_pred = fk.model.predict(&test.features);
 
     let diff = metrics::mse(&fk_pred, &exact_pred);
-    let scale = metrics::mse(&exact_pred, &Matrix::zeros(test.len(), 2)).max(1e-12);
+    let scale = metrics::mse(&exact_pred, &Matrix::<f64>::zeros(test.len(), 2)).max(1e-12);
     assert!(
         diff / scale < 0.05,
         "FALKON(M=n, λ→0) should match the interpolant: rel err {}",
@@ -90,8 +90,16 @@ fn eigenpro1_and_eigenpro2_same_predictions() {
     .unwrap();
 
     // Both near-interpolate, so their test predictions agree closely.
-    assert!(ep2.report.final_train_mse < 2e-3, "{}", ep2.report.final_train_mse);
-    assert!(ep1.report.final_train_mse < 2e-3, "{}", ep1.report.final_train_mse);
+    assert!(
+        ep2.report.final_train_mse < 2e-3,
+        "{}",
+        ep2.report.final_train_mse
+    );
+    assert!(
+        ep1.report.final_train_mse < 2e-3,
+        "{}",
+        ep1.report.final_train_mse
+    );
     let p2 = ep2.model.predict(&test.features);
     let p1 = ep1.model.predict(&test.features);
     let diff = metrics::mse(&p1, &p2);
@@ -144,8 +152,16 @@ fn sgd_approaches_eigenpro2_solution() {
     .unwrap();
 
     // Both reached low train MSE; predictions agree.
-    assert!(ep2.report.final_train_mse < 1e-3, "{}", ep2.report.final_train_mse);
-    assert!(sgd_out.report.final_train_mse < 1e-3, "{}", sgd_out.report.final_train_mse);
+    assert!(
+        ep2.report.final_train_mse < 1e-3,
+        "{}",
+        ep2.report.final_train_mse
+    );
+    assert!(
+        sgd_out.report.final_train_mse < 1e-3,
+        "{}",
+        sgd_out.report.final_train_mse
+    );
     let a = ep2.model.predict(&test.features);
     let b = sgd_out.model.predict(&test.features);
     let diff = metrics::mse(&a, &b);

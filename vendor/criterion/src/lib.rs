@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API shape the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! as a simple wall-clock harness: each benchmark runs a short warm-up then
+//! `sample_size` timed samples, and the per-iteration median/min are printed
+//! in a diffable one-line-per-benchmark format. No statistics engine, no
+//! HTML reports; swap in the real criterion once network access exists.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing helper handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` for one warm-up pass plus `sample_size` timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self) -> (Duration, Duration) {
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted
+            .get(sorted.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        let min = sorted.first().copied().unwrap_or(Duration::ZERO);
+        (median, min)
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-6 {
+        format!("{:8.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:8.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{s:8.3} s ")
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let (median, min) = bencher.report();
+        println!(
+            "bench {:<48} median {}   min {}",
+            format!("{}/{}", self.name, label),
+            fmt_duration(median),
+            fmt_duration(min)
+        );
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Registers and immediately runs a parameterised benchmark.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut group = self.benchmark_group(name.to_string());
+        group.bench_function("default", f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0_u32;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert!(ran >= 3);
+    }
+}

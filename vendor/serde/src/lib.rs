@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only as *derive annotations* on plain-old-data
+//! config types (no serialisation format crate is a dependency). This shim
+//! provides blanket-implemented marker traits with the real names plus no-op
+//! derive macros, so `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize + for<'de> Deserialize<'de>` bounds compile unchanged.
+//! Swap in the real serde (same package name) once network access exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[derive(super::Serialize, super::Deserialize)]
+    struct Probe {
+        _x: f64,
+    }
+
+    #[test]
+    fn bounds_are_satisfied() {
+        fn assert_roundtrippable<T: crate::Serialize + for<'de> crate::Deserialize<'de>>() {}
+        assert_roundtrippable::<Probe>();
+        assert_roundtrippable::<Vec<String>>();
+    }
+}
