@@ -9,18 +9,23 @@
 //! (~1e6 ops), so its curve is already in the linear regime at `m = 1` —
 //! i.e. the CPU plays the paper's "sequential machine" role, while the
 //! simulated device reproduces the GPU curve.
+//!
+//! `--precision f32|f64|mixed` selects the numeric precision of the
+//! measured column (simulated curves are precision-independent operation
+//! counts; `mixed` executes the hot loop in f32 like the trainer does).
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use ep2_bench::{fmt_secs, pow2_sweep, print_table};
+use ep2_bench::{fmt_secs, pow2_sweep, precision_from_args, print_table};
 use ep2_core::iteration::EigenProIteration;
 use ep2_core::KernelModel;
 use ep2_data::catalog;
-use ep2_device::{timing, DeviceMode, ResourceSpec};
+use ep2_device::{timing, DeviceMode, Precision, ResourceSpec};
 use ep2_kernels::{Kernel, KernelKind};
+use ep2_linalg::Scalar;
 
-fn main() {
+fn run<S: Scalar>(precision: Precision) {
     let n = 8_000; // paper: 1e5; reduced scale, same d
     let data = catalog::timit_like_small_labels(n, 24, 3);
     let d = data.dim();
@@ -28,14 +33,19 @@ fn main() {
     let device = ResourceSpec::scaled_virtual_gpu();
     let knee = (device.parallel_capacity / ((d + l) as f64 * n as f64)).floor();
 
-    println!("Figure 3a: time per iteration vs batch size (TIMIT-like, n = {n}, d = {d}, l = {l})");
+    println!(
+        "Figure 3a: time per iteration vs batch size (TIMIT-like, n = {n}, d = {d}, l = {l}, \
+         precision = {precision})"
+    );
     println!(
         "simulated device: {} (C_G = {:.1e}, capacity knee at m = {knee})\n",
         device.name, device.parallel_capacity,
     );
 
-    let kernel: Arc<dyn Kernel> = KernelKind::Laplacian.with_bandwidth(12.0).into();
-    let model = KernelModel::zeros(kernel, data.features.clone(), l);
+    let kernel: Arc<dyn Kernel<S>> = KernelKind::Laplacian.with_bandwidth_in::<S>(12.0).into();
+    let features = data.features.cast::<S>();
+    let targets = data.targets.cast::<S>();
+    let model = KernelModel::zeros(kernel, features, l);
     let mut iter = EigenProIteration::new(model, None, 1.0);
 
     let mut rows = Vec::new();
@@ -45,10 +55,10 @@ fn main() {
         let t_actual = timing::iteration_time(&device, DeviceMode::ActualGpu, ops);
         let t_seq = timing::iteration_time(&device, DeviceMode::Sequential, ops);
 
-        // Measured: one real iteration on this host.
+        // Measured: one real iteration on this host, in the chosen precision.
         let batch: Vec<usize> = (0..m.min(n)).collect();
         let start = Instant::now();
-        iter.step(&batch, &data.targets);
+        iter.step(&batch, &targets);
         let measured = start.elapsed().as_secs_f64();
 
         rows.push(vec![
@@ -66,7 +76,7 @@ fn main() {
             "actual GPU (sim)",
             "ideal parallel (sim)",
             "sequential (sim)",
-            "measured CPU",
+            &format!("measured CPU ({})", S::NAME),
         ],
         &rows,
     );
@@ -76,4 +86,12 @@ fn main() {
          Figure-3a crossover. The measured CPU column is linear from m = 1 because a \
          CPU saturates at ~1e6-op launches; it is this machine's 'sequential device'."
     );
+}
+
+fn main() {
+    let precision = precision_from_args();
+    match precision {
+        Precision::F64 => run::<f64>(precision),
+        Precision::F32 | Precision::Mixed => run::<f32>(precision),
+    }
 }

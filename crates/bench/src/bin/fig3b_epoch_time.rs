@@ -8,23 +8,26 @@
 //! levels out, consistently across `n`. The memory ledger enforces the
 //! `m ≤ m^S_G` cap that truncates each curve.
 
-use ep2_bench::{fmt_secs, pow2_sweep, print_table};
+use ep2_bench::{fmt_secs, pow2_sweep, precision_from_args, print_table};
 use ep2_device::{batch, memory::MemoryLedger, timing, DeviceMode, ResourceSpec};
 
 fn main() {
+    let precision = precision_from_args();
     let titan = ResourceSpec::titan_xp();
     let d = 440; // TIMIT-like features
     let l = 144;
 
     println!("Figure 3b: simulated GPU time per epoch vs batch size, across model sizes n");
     println!(
-        "device: {} (S_G = {:.1e} slots)\n",
-        titan.name, titan.memory_floats
+        "device: {} (S_G = {:.1e} slots at {precision}; curves truncate at the \
+         precision's m^S_G)\n",
+        titan.name,
+        titan.memory_slots(precision)
     );
 
     for &n in &[100_000usize, 400_000, 1_000_000, 2_000_000] {
-        let plan = batch::max_batch(&titan, n, d, l);
-        let ledger = MemoryLedger::new(titan.memory_floats);
+        let plan = batch::max_batch_with(&titan, n, d, l, precision);
+        let ledger = MemoryLedger::new(titan.memory_slots(precision));
         // Resident: features + weights (per Step-1 accounting).
         let resident = ledger
             .alloc(((d + l) * n) as f64)

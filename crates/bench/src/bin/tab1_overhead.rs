@@ -8,12 +8,14 @@
 //! 2. *measured* operation counts from our implementations at reproduction
 //!    scale, cross-checked against the formulas.
 
-use ep2_bench::{fmt_ops, fmt_pct, print_table};
+use ep2_bench::{fmt_ops, fmt_pct, precision_from_args, print_table};
 use ep2_core::iteration::EigenProIteration;
 use ep2_core::{KernelModel, Preconditioner};
 use ep2_data::catalog;
 use ep2_device::cost::{self, ProblemShape};
+use ep2_device::Precision;
 use ep2_kernels::{Kernel, KernelKind};
+use ep2_linalg::Scalar;
 use std::sync::Arc;
 
 fn analytic_section() {
@@ -69,7 +71,7 @@ fn analytic_section() {
     );
 }
 
-fn measured_section() {
+fn measured_section<S: Scalar>() {
     let n = 1_200;
     let s = 300;
     let q = 24;
@@ -77,14 +79,18 @@ fn measured_section() {
     let data = catalog::mnist_like(n, 3);
     let d = data.dim();
     let l = data.n_classes;
-    let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(5.0).into();
+    let kernel: Arc<dyn Kernel<S>> = KernelKind::Gaussian.with_bandwidth_in::<S>(5.0).into();
+    let features = data.features.cast::<S>();
+    let targets = data.targets.cast::<S>();
 
-    // Improved EigenPro.
-    let precond = Preconditioner::fit_damped(&kernel, &data.features, s, q, 0.95, 1).unwrap();
-    let model = KernelModel::zeros(kernel.clone(), data.features.clone(), l);
+    // Improved EigenPro. Operation counts are precision-independent; running
+    // the measured section at f32 verifies the counters (and the iteration
+    // itself) under the paper's GPU precision.
+    let precond = Preconditioner::fit_damped(&kernel, &features, s, q, 0.95, 1).unwrap();
+    let model = KernelModel::zeros(kernel.clone(), features, l);
     let mut it = EigenProIteration::new(model, Some(precond), 1.0);
     let batch: Vec<usize> = (0..m).collect();
-    it.step(&batch, &data.targets);
+    it.step(&batch, &targets);
     let measured_sgd = it.counter().sgd_ops;
     let measured_pre = it.counter().precond_ops;
 
@@ -105,7 +111,10 @@ fn measured_section() {
         ],
     ];
     print_table(
-        &format!("Table 1 (measured, n={n} s={s} d={d} m={m} q={q} l={l})"),
+        &format!(
+            "Table 1 (measured at {}, n={n} s={s} d={d} m={m} q={q} l={l})",
+            S::NAME
+        ),
         &["component", "measured ops/iter", "formula ops/iter"],
         &rows,
     );
@@ -116,6 +125,10 @@ fn measured_section() {
 }
 
 fn main() {
+    let precision = precision_from_args();
     analytic_section();
-    measured_section();
+    match precision {
+        Precision::F64 => measured_section::<f64>(),
+        Precision::F32 | Precision::Mixed => measured_section::<f32>(),
+    }
 }

@@ -16,7 +16,10 @@
 //!   training set (the paper cross-validates FALKON's hyper-parameters).
 
 use ep2_baselines::{eigenpro1, falkon};
-use ep2_bench::{fmt_pct, fmt_secs, print_table, table2_reference_rows, virtual_gpu_saturating_at};
+use ep2_bench::{
+    fmt_pct, fmt_secs, precision_from_args, print_table, table2_reference_rows,
+    virtual_gpu_saturating_at,
+};
 use ep2_core::trainer::{EarlyStopping, EigenPro2, TrainConfig};
 use ep2_data::{catalog, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec};
@@ -83,6 +86,10 @@ fn best_falkon(
 }
 
 fn main() {
+    // `--precision f32|f64|mixed` applies to the EigenPro 2.0 trainer (the
+    // system under reproduction); the baselines remain f64 reference
+    // implementations, which only flatters them.
+    let precision = precision_from_args();
     let specs = vec![
         Spec {
             name: "MNIST",
@@ -141,6 +148,7 @@ fn main() {
                 }),
                 device_mode: DeviceMode::ActualGpu,
                 seed: 9,
+                precision,
                 ..TrainConfig::default()
             },
             device.clone(),
@@ -149,7 +157,7 @@ fn main() {
         .expect("eigenpro2");
         rows.push(vec![
             spec.name.to_string(),
-            "EigenPro 2.0 (ours)".to_string(),
+            format!("EigenPro 2.0 (ours, {precision})"),
             fmt_pct(ep2.report.final_val_error.unwrap()),
             fmt_secs(ep2.report.simulated_seconds),
             fmt_secs(ep2.report.wall_seconds),

@@ -24,6 +24,36 @@
 
 use std::fmt::Write as _;
 
+/// Parses `--precision <f32|f64|mixed>` (or `--precision=<p>`) from the
+/// process arguments; defaults to [`ep2_device::Precision::F64`] (the
+/// library's historical behaviour). Every harness binary accepts this flag
+/// so each paper table/figure regenerates under the paper's f32
+/// configuration.
+///
+/// # Panics
+///
+/// Panics with a usage message when the flag value is missing or unknown.
+pub fn precision_from_args() -> ep2_device::Precision {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        let name = if let Some(v) = arg.strip_prefix("--precision=") {
+            Some(v.to_string())
+        } else if arg == "--precision" {
+            Some(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("--precision needs a value (f32 | f64 | mixed)"))
+                    .clone(),
+            )
+        } else {
+            None
+        };
+        if let Some(name) = name {
+            return name.parse().unwrap_or_else(|e: String| panic!("{e}"));
+        }
+    }
+    ep2_device::Precision::F64
+}
+
 /// Renders a fixed-width ASCII table with a title.
 pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -13,6 +13,12 @@
 //! With the preconditioner disabled this type **is** plain mini-batch
 //! kernel SGD (randomized coordinate descent for `Kα = y`), which is how
 //! the SGD baseline and Figure-2/3 comparisons run on identical code paths.
+//!
+//! Every dense product in the step — the `m x n` kernel-block assembly
+//! (`gemm_nt` cross-term), the prediction `gemm`, and the correction's
+//! `gemm`/`gemm_tn` — runs on `ep2_linalg`'s packed register-blocked engine,
+//! so per-iteration wall time tracks the `2·m·n·(d+l)` operation count the
+//! simulated clock prices (see `BENCH_gemm.json`).
 
 use ep2_linalg::{Matrix, Scalar};
 

@@ -481,15 +481,17 @@ impl<S: Scalar> Preconditioner<S> {
         ep2_linalg::ops::scal(S::ONE / norm, &mut v);
         let mut lambda = 0.0_f64;
         let mut u = vec![S::ZERO; p];
+        let mut b_u = vec![S::ZERO; s];
+        // The subsample block B = K_P[0..s, :] (first s rows by
+        // construction), hoisted out of the iteration loop so every pass is
+        // a register-blocked gemv instead of per-row dots.
+        let kp_top = kp.submatrix(0, 0, s, p);
         let inv_p = S::from_f64(1.0 / p as f64);
         for _ in 0..iters.max(3) {
             // u = K_P v.
             blas::gemv(S::ONE, &kp, &v, S::ZERO, &mut u);
-            // c = B u restricted to the subsample block (first s rows of K_P
-            // by construction), then the V D Vᵀ correction.
-            let b_u: Vec<S> = (0..s)
-                .map(|i| ep2_linalg::ops::dot(kp.row(i), &u))
-                .collect();
+            // c = B u, then the V D Vᵀ correction.
+            blas::gemv(S::ONE, &kp_top, &u, S::ZERO, &mut b_u);
             // Reuse apply_correction with a 1-column residual: Φᵀg ≡ b_u.
             // apply_correction computes V D Vᵀ Φᵀ g, where here Φᵀ g = b_u,
             // so feed Φ = I-block trick: compute directly.

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{batch, timing, DeviceMode, ResourceSpec};
+use crate::{batch, timing, DeviceMode, Precision, ResourceSpec};
 
 /// A cluster of `g` identical devices with a communication link.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,13 +96,33 @@ impl ClusterSpec {
     /// with `g` (each device works on its `n/g`-center shard), memory holds
     /// the shard plus the batch block.
     ///
-    /// Uses the f32 reference slot width (like [`batch::max_batch`]); the
-    /// distributed path does not take a `Precision` yet — see ROADMAP.
+    /// Uses the f32 reference slot width (like [`batch::max_batch`]); use
+    /// [`ClusterSpec::max_batch_with`] to plan under the precision the
+    /// training run will actually execute at.
     pub fn max_batch(&self, n: usize, d: usize, l: usize) -> batch::BatchPlan {
+        self.max_batch_with(n, d, l, Precision::F32)
+    }
+
+    /// [`ClusterSpec::max_batch`] under an explicit [`Precision`] policy:
+    /// each device's memory-limited batch `m^S_G` is computed at the true
+    /// slot width (f64 elements cost two f32-reference slots per shard
+    /// element), exactly like the single-device
+    /// [`batch::max_batch_with`] the trainer plans with.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`batch::max_batch`] (per-device shard must fit).
+    pub fn max_batch_with(
+        &self,
+        n: usize,
+        d: usize,
+        l: usize,
+        precision: Precision,
+    ) -> batch::BatchPlan {
         let g = self.n_devices;
         let n_local = n.div_ceil(g).max(1);
         // Per-device: (d + l) · m · n_local ≈ C_G  and  (d + l + m) · n_local ≤ S_G.
-        batch::max_batch(&self.device, n_local, d, l)
+        batch::max_batch_with(&self.device, n_local, d, l, precision)
     }
 
     /// Parallel-scaling efficiency at batch `m`: single-device iteration
@@ -154,6 +174,22 @@ mod tests {
         let m4 = cluster(4).max_batch(n, d, l).batch;
         // Each device sees n/4 centers → the capacity batch grows ~4x.
         assert!(m4 > 3 * m1, "m4 = {m4}, m1 = {m1}");
+    }
+
+    #[test]
+    fn cluster_precision_scales_memory_batch() {
+        // Memory-starved per-device spec: the f32 plan's memory batch obeys
+        // the same 2x-slot relation as the single-device planner, per shard.
+        let device = ResourceSpec::new("mem-starved", 1e15, 2e6, 1e12, 0.0);
+        let c = ClusterSpec::new(device, 4, 1e9, 1e-6);
+        let (n, d, l) = (4_000, 100, 10);
+        let p32 = c.max_batch_with(n, d, l, Precision::F32);
+        let p64 = c.max_batch_with(n, d, l, Precision::F64);
+        assert_eq!(p32.memory_batch, 2 * p64.memory_batch + (d + l));
+        // Mixed plans memory like f32, and the default stays f32-reference.
+        let mixed = c.max_batch_with(n, d, l, Precision::Mixed);
+        assert_eq!(mixed.memory_batch, p32.memory_batch);
+        assert_eq!(c.max_batch(n, d, l), p32);
     }
 
     #[test]

@@ -147,23 +147,39 @@ impl SimClock {
 /// Measures the host CPU's sustained dense-compute throughput (ops/s) with a
 /// short calibration loop, for [`ResourceSpec::calibrated_to_host`].
 ///
-/// Runs an in-cache fused multiply-add sweep over `floats` elements
-/// `repeats` times and returns `2 * floats * repeats / seconds`.
+/// Runs an in-cache **register-tiled FMA kernel** — an 8x8 f64 accumulator
+/// tile updated from two streamed panels, the same shape as `ep2-linalg`'s
+/// blocked GEMM microkernel — so the measured rate matches what the actual
+/// dense hot paths sustain. (The previous scalar `mul_add` sweep measured a
+/// single dependency chain, several times below what the blocked GEMM
+/// reaches, which made simulated-vs-wall-clock comparisons dishonest.)
+///
+/// `floats` sizes the streamed panels (`k = floats/16` tile updates per
+/// pass, clamped to stay in L1); returns `2 * 64 * k * repeats / seconds`.
 pub fn measure_host_flops(floats: usize, repeats: usize) -> f64 {
-    let n = floats.max(1024);
-    let mut a: Vec<f64> = (0..n).map(|i| (i % 97) as f64 * 1e-3).collect();
-    let b: Vec<f64> = (0..n).map(|i| (i % 89) as f64 * 1e-3 + 0.5).collect();
+    const T: usize = 8;
+    let k = (floats.max(1024) / (2 * T)).min(4096);
+    let series = |seed: usize| move |i: usize| ((i * 31 + seed) % 97) as f64 * 1e-3 - 0.4;
+    let a: Vec<f64> = (0..T * k).map(series(1)).collect();
+    let b: Vec<f64> = (0..T * k).map(series(2)).collect();
+    let mut acc = [[0.0_f64; T]; T];
     let start = std::time::Instant::now();
     for _ in 0..repeats.max(1) {
-        for i in 0..n {
-            a[i] = a[i].mul_add(0.999, b[i]);
+        for (ap, bp) in a.chunks_exact(T).zip(b.chunks_exact(T)) {
+            let ap: &[f64; T] = ap.try_into().unwrap();
+            let bp: &[f64; T] = bp.try_into().unwrap();
+            for i in 0..T {
+                let ai = ap[i];
+                let row = &mut acc[i];
+                for j in 0..T {
+                    row[j] = ai.mul_add(bp[j], row[j]);
+                }
+            }
         }
+        std::hint::black_box(&mut acc);
     }
     let secs = start.elapsed().as_secs_f64().max(1e-9);
-    // Prevent the loop from being optimised away.
-    let sink: f64 = a.iter().take(8).sum();
-    std::hint::black_box(sink);
-    2.0 * n as f64 * repeats as f64 / secs
+    2.0 * (T * T) as f64 * k as f64 * repeats.max(1) as f64 / secs
 }
 
 #[cfg(test)]

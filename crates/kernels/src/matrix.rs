@@ -20,16 +20,36 @@ use ep2_linalg::{blas, ops, parallel, Matrix, Scalar};
 /// Panics if `a.cols() != b.cols()`.
 pub fn kernel_cross<S: Scalar>(kernel: &dyn Kernel<S>, a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
     assert_eq!(a.cols(), b.cols(), "kernel_cross: feature dims differ");
+    let a_sq = row_sq_norms(a);
+    let b_sq = row_sq_norms(b);
+    kernel_cross_with_norms(kernel, a, b, &a_sq, &b_sq)
+}
+
+/// Squared Euclidean norm of every row (the `‖x‖²` terms of the Gram
+/// expansion).
+pub fn row_sq_norms<S: Scalar>(x: &Matrix<S>) -> Vec<S> {
+    (0..x.rows())
+        .map(|i| ops::dot(x.row(i), x.row(i)))
+        .collect()
+}
+
+/// [`kernel_cross`] with the row norms precomputed — the symmetric
+/// [`kernel_matrix`] path computes them once and passes them for both sides.
+fn kernel_cross_with_norms<S: Scalar>(
+    kernel: &dyn Kernel<S>,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    a_sq: &[S],
+    b_sq: &[S],
+) -> Matrix<S> {
     let (n, m) = (a.rows(), b.rows());
     if n == 0 || m == 0 {
         return Matrix::zeros(n, m);
     }
-    // -2 A B^T
+    // -2 A B^T: the packed register-blocked `gemm_nt` (B^T is a stride swap
+    // at packing time) — the dominant cost of assembly.
     let mut k = Matrix::zeros(n, m);
     blas::gemm_nt(S::from_f64(-2.0), a, b, S::ZERO, &mut k);
-    // Row/col squared norms.
-    let a_sq: Vec<S> = (0..n).map(|i| ops::dot(a.row(i), a.row(i))).collect();
-    let b_sq: Vec<S> = (0..m).map(|j| ops::dot(b.row(j), b.row(j))).collect();
     // Element-wise radial profile, parallel over row chunks.
     let cols = m;
     parallel::for_each_chunk_mut(k.as_mut_slice(), cols.max(1) * 64, |off, chunk| {
@@ -46,9 +66,11 @@ pub fn kernel_cross<S: Scalar>(kernel: &dyn Kernel<S>, a: &Matrix<S>, b: &Matrix
 /// Assembles the symmetric kernel matrix `K[i][j] = k(x_i, x_j)`.
 ///
 /// The result is exactly symmetric with a unit diagonal (enforced after the
-/// floating-point assembly).
+/// floating-point assembly). The row norms are computed once and shared by
+/// both sides of the Gram expansion.
 pub fn kernel_matrix<S: Scalar>(kernel: &dyn Kernel<S>, x: &Matrix<S>) -> Matrix<S> {
-    let mut k = kernel_cross(kernel, x, x);
+    let x_sq = row_sq_norms(x);
+    let mut k = kernel_cross_with_norms(kernel, x, x, &x_sq, &x_sq);
     k.symmetrize();
     for i in 0..k.rows() {
         k[(i, i)] = kernel.of_sq_dist(S::ZERO);

@@ -10,8 +10,11 @@
 //!   a higher-precision accumulator ([`Scalar::Accum`]).
 //! - [`Matrix`]: a dense, row-major matrix (`Matrix<S>`, default `f64`) with
 //!   cache-friendly access.
-//! - [`blas`]: level-1/2/3 routines — `dot`, `axpy`, [`blas::gemv`], and a
-//!   blocked, multi-threaded [`blas::gemm`].
+//! - [`blas`]: level-1/2/3 routines — `dot`, `axpy`, a register-blocked
+//!   [`blas::gemv`], and the packed cache-tiled [`blas::gemm`] family.
+//! - [`gemm`]: the BLIS-style blocked GEMM engine behind [`blas`] — packed
+//!   `MC/KC/NC` panels driving the per-precision `MR x NR` register
+//!   microkernels ([`Scalar::microkernel`]: 6x16 at `f32`, 8x8 at `f64`).
 //! - [`eigen`]: a dense symmetric eigensolver (Householder tridiagonalisation
 //!   followed by implicit-shift QL), the workhorse for Nyström subsample
 //!   eigensystems — always solved in `f64` internally.
@@ -50,6 +53,7 @@ mod scalar;
 pub mod blas;
 pub mod cholesky;
 pub mod eigen;
+pub mod gemm;
 pub mod lanczos;
 pub mod ops;
 pub mod parallel;

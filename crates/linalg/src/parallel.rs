@@ -6,6 +6,9 @@
 //! spawning scoped threads per call is cheap relative to the work and keeps
 //! the crate dependency-light.
 
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use, honouring the `EP2_NUM_THREADS`
@@ -22,6 +25,48 @@ pub fn num_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+thread_local! {
+    /// Per-thread packing arena for the blocked GEMM (`crate::gemm`): one
+    /// `(Vec<A-panel>, Vec<B-panel>)` pair per element type, grown on demand
+    /// and reused across calls so steady-state GEMMs allocate nothing. On
+    /// the worker threads spawned by [`for_each_chunk_mut`] the buffers are
+    /// reused across every block of one call (threads are scoped per call);
+    /// on the caller's thread — the single-threaded path — they persist for
+    /// the life of the thread.
+    static PACK_ARENA: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Borrows this thread's two reusable packing buffers, sized to at least
+/// `a_len` / `b_len` elements, and runs `f` on them. The buffer contents are
+/// unspecified on entry (packing overwrites every element it reads back).
+///
+/// # Panics
+///
+/// Panics if called re-entrantly from inside `f` on the same thread (the
+/// arena is a single `RefCell` per thread).
+pub fn with_pack_buffers<T, R, F>(a_len: usize, b_len: usize, f: F) -> R
+where
+    T: Copy + Default + 'static,
+    F: FnOnce(&mut [T], &mut [T]) -> R,
+{
+    PACK_ARENA.with(|cell| {
+        let mut map = cell.borrow_mut();
+        let entry = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new((Vec::<T>::new(), Vec::<T>::new())));
+        let (a, b) = entry
+            .downcast_mut::<(Vec<T>, Vec<T>)>()
+            .expect("arena entry type keyed by TypeId");
+        if a.len() < a_len {
+            a.resize(a_len, T::default());
+        }
+        if b.len() < b_len {
+            b.resize(b_len, T::default());
+        }
+        f(&mut a[..a_len], &mut b[..b_len])
+    })
 }
 
 /// Splits `data` into contiguous chunks of at most `chunk_len` elements and
@@ -180,5 +225,27 @@ mod tests {
     #[test]
     fn num_threads_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn pack_buffers_sized_and_reused() {
+        let ptr0 = with_pack_buffers::<f32, _, _>(100, 200, |a, b| {
+            assert_eq!(a.len(), 100);
+            assert_eq!(b.len(), 200);
+            a[0] = 1.0;
+            a.as_ptr() as usize
+        });
+        // A smaller request on the same thread reuses the same allocation.
+        let ptr1 = with_pack_buffers::<f32, _, _>(50, 10, |a, b| {
+            assert_eq!(a.len(), 50);
+            assert_eq!(b.len(), 10);
+            a.as_ptr() as usize
+        });
+        assert_eq!(ptr0, ptr1);
+        // A different element type gets its own pair.
+        with_pack_buffers::<f64, _, _>(8, 8, |a, b| {
+            assert_eq!(a.len(), 8);
+            assert_eq!(b.len(), 8);
+        });
     }
 }

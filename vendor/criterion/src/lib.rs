@@ -8,10 +8,22 @@
 //! in a diffable one-line-per-benchmark format. No statistics engine, no
 //! HTML reports; swap in the real criterion once network access exists.
 
+//! Smoke mode: when the bench binary is invoked with `--test` (the flag the
+//! real criterion uses for "run every benchmark once, no statistics" — e.g.
+//! `cargo bench -- --test` in CI), every benchmark runs a single timed
+//! sample so the job verifies the benches still compile and execute without
+//! paying full measurement cost.
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// `true` when the bench binary was invoked with `--test` (or `--quick`):
+/// run each benchmark once, as a compile-and-run smoke check.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--quick")
+}
 
 /// Benchmark identifier, mirroring `criterion::BenchmarkId`.
 #[derive(Debug, Clone)]
@@ -103,7 +115,7 @@ impl BenchmarkGroup<'_> {
     fn run_one(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
             samples: Vec::new(),
-            sample_size: self.sample_size,
+            sample_size: if smoke_mode() { 1 } else { self.sample_size },
         };
         f(&mut bencher);
         let (median, min) = bencher.report();
