@@ -260,6 +260,90 @@ fn bench_epoch_time(_c: &mut Criterion) {
     )]);
 }
 
+/// The out-of-core acceptance comparison: one (unpreconditioned) epoch of
+/// the hot loop in-core (`step`, resident `m x n` kernel blocks) vs the same
+/// epoch through the bounded double-buffered tile pipeline (`step_streamed`)
+/// under a ledger that only fits the streamed residency. Prints the
+/// throughput ratio and (under `EP2_BENCH_JSON=1`) records it in
+/// `BENCH_stream.json`, peak-slot audit included.
+fn bench_streamed_epoch(_c: &mut Criterion) {
+    use ep2_device::Precision;
+    use ep2_stream::{BlockPlan, StreamEngine};
+
+    let (n, m, n_tile) = if criterion::smoke_mode() {
+        (512, 128, 96)
+    } else {
+        (6_000, 512, 768)
+    };
+    let data = catalog::timit_like_small_labels(n, 16, 3);
+    let (d, l) = (data.dim(), data.n_classes);
+    let kernel: Arc<dyn Kernel> = Arc::new(GaussianKernel::new(8.0));
+    let batches: Vec<Vec<usize>> = (0..n)
+        .step_by(m)
+        .map(|b0| (b0..(b0 + m).min(n)).collect())
+        .collect();
+
+    // In-core epoch.
+    let model = KernelModel::zeros(kernel.clone(), data.features.clone(), l);
+    let mut it = EigenProIteration::new(model, None, 1.0);
+    let t_in_core = time_min(2, || {
+        for b in &batches {
+            it.step(b, &data.targets);
+        }
+    });
+
+    // Streamed epoch: ledger sized to the tile plan (the in-core residency
+    // (d + l + m)·n would not fit it), engine reused across the timed runs
+    // exactly as the trainer reuses it across epochs.
+    let plan = BlockPlan::new(n, d, l, m, n_tile, 3, Precision::F64);
+    let ledger = ep2_device::MemoryLedger::new(plan.total_slots() * 1.05);
+    let model = KernelModel::zeros(kernel.clone(), data.features.clone(), l);
+    let mut its = EigenProIteration::new(model, None, 1.0);
+    let centers = its.model().centers_shared();
+    let mut engine = StreamEngine::new(kernel.clone(), centers, plan, &ledger).unwrap();
+    let batch_refs: Vec<&[usize]> = batches.iter().map(Vec::as_slice).collect();
+    let t_streamed = time_min(2, || {
+        engine.run_epoch(&batch_refs, |bi, tiles| {
+            its.step_streamed(batch_refs[bi], &data.targets, tiles);
+        });
+    });
+
+    let in_core_slots = ((d + l + m) * n) as f64 * 2.0;
+    let throughput = t_in_core / t_streamed;
+    println!(
+        "bench streamed_epoch n={n} d={d} l={l} m={m} n_tile={n_tile}: \
+         in-core {t_in_core:.3}s, streamed {t_streamed:.3}s \
+         ({:.0}% of in-core throughput) | peak {:.3e} slots vs in-core {:.3e}",
+        throughput * 100.0,
+        ledger.peak_slots(),
+        in_core_slots,
+    );
+    write_stream_json(&[format!(
+        "    {{\"op\": \"streamed_epoch\", \"n\": {n}, \"d\": {d}, \"l\": {l}, \
+         \"m\": {m}, \"n_tile\": {n_tile}, \"in_core_s\": {t_in_core:.4}, \
+         \"streamed_s\": {t_streamed:.4}, \
+         \"streamed_over_in_core_throughput\": {throughput:.3}, \
+         \"peak_slots\": {:.4e}, \"budget_slots\": {:.4e}, \
+         \"in_core_resident_slots\": {:.4e}}}",
+        ledger.peak_slots(),
+        ledger.budget(),
+        in_core_slots,
+    )]);
+}
+
+/// `BENCH_stream.json` accumulator — same contract as [`write_bench_json`]
+/// but for the out-of-core streaming comparisons.
+fn write_stream_json(records: &[String]) {
+    static PENDING: std::sync::OnceLock<std::sync::Mutex<Vec<String>>> = std::sync::OnceLock::new();
+    write_json_accum(
+        &PENDING,
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json"),
+        "\"model\": \"one epoch of the unpreconditioned hot loop; streamed = \
+         bounded double-buffered tile pipeline\",",
+        records,
+    );
+}
+
 /// Describes the machine the numbers were taken on, at run time — the JSON
 /// must not claim another host's provenance when regenerated elsewhere.
 fn host_description() -> String {
@@ -289,25 +373,38 @@ fn host_description() -> String {
 /// active when `EP2_BENCH_JSON` is set, so CI smoke runs never rewrite the
 /// committed measurements.
 fn write_bench_json(records: &[String]) {
-    use std::sync::Mutex;
-    use std::sync::OnceLock;
-    static PENDING: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    static PENDING: std::sync::OnceLock<std::sync::Mutex<Vec<String>>> = std::sync::OnceLock::new();
+    write_json_accum(
+        &PENDING,
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json"),
+        "\"flops_model\": \"2*m*k*n per gemm; rates are Gflop/s\",",
+        records,
+    );
+}
+
+/// The shared accumulate-and-rewrite machinery behind [`write_bench_json`]
+/// and [`write_stream_json`]: appends `records` to the file's pending list
+/// and rewrites the whole JSON document (host provenance + one extra header
+/// line + all records so far). No-op unless `EP2_BENCH_JSON` is set.
+fn write_json_accum(
+    pending: &'static std::sync::OnceLock<std::sync::Mutex<Vec<String>>>,
+    path: &str,
+    header_line: &str,
+    records: &[String],
+) {
     if std::env::var("EP2_BENCH_JSON").is_err() {
         return;
     }
-    let pending = PENDING.get_or_init(|| Mutex::new(Vec::new()));
+    let pending = pending.get_or_init(|| std::sync::Mutex::new(Vec::new()));
     let mut all = pending.lock().unwrap();
     all.extend(records.iter().cloned());
     let body = all.join(",\n");
     let json = format!(
-        "{{\n  \"host\": \"{}\",\n  \
-         \"flops_model\": \"2*m*k*n per gemm; rates are Gflop/s\",\n  \
-         \"results\": [\n{body}\n  ]\n}}\n",
+        "{{\n  \"host\": \"{}\",\n  {header_line}\n  \"results\": [\n{body}\n  ]\n}}\n",
         host_description()
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
     if let Err(e) = std::fs::write(path, json) {
-        eprintln!("BENCH_gemm.json not written: {e}");
+        eprintln!("{path} not written: {e}");
     } else {
         println!("wrote {path}");
     }
@@ -396,6 +493,7 @@ criterion_group!(
     bench_kernel_assembly,
     bench_assembly_packed,
     bench_epoch_time,
+    bench_streamed_epoch,
     bench_eigensolver,
     bench_training_iterations,
     bench_f32_kernel_row,

@@ -1,14 +1,19 @@
 //! Figure 3b: GPU time per training epoch vs batch size, for several model
 //! (training-set) sizes `n`, up to the largest batch that fits in GPU
-//! memory.
+//! memory — and, since the out-of-core engine, *past* it: batches whose
+//! kernel block no longer fits `S_G` switch to `streamed` pricing (the
+//! double-buffered tile pipeline's exposed critical path) instead of
+//! truncating the curve.
 //!
 //! An epoch is `n/m` iterations; per-launch overhead amortises with larger
 //! `m` (Amdahl's law) and execution time per iteration is flat until the
 //! capacity knee — so epoch time falls with `m` until saturation, then
 //! levels out, consistently across `n`. The memory ledger enforces the
-//! `m ≤ m^S_G` cap that truncates each curve.
+//! `m ≤ m^S_G` cap that bounds the *in-core* rows; the streamed rows carry
+//! the assembly/update overlap factor of `ep2_device::cost::streamed_eigenpro`.
 
 use ep2_bench::{fmt_secs, pow2_sweep, precision_from_args, print_table};
+use ep2_device::cost::{self, ProblemShape};
 use ep2_device::{batch, memory::MemoryLedger, timing, DeviceMode, ResourceSpec};
 
 fn main() {
@@ -19,45 +24,102 @@ fn main() {
 
     println!("Figure 3b: simulated GPU time per epoch vs batch size, across model sizes n");
     println!(
-        "device: {} (S_G = {:.1e} slots at {precision}; curves truncate at the \
-         precision's m^S_G)\n",
+        "device: {} (S_G = {:.1e} slots at {precision}; in-core rows stop at the \
+         precision's m^S_G, streamed rows continue past it)\n",
         titan.name,
         titan.memory_slots(precision)
     );
 
-    for &n in &[100_000usize, 400_000, 1_000_000, 2_000_000] {
-        let plan = batch::max_batch_with(&titan, n, d, l, precision);
+    for &n in &[100_000usize, 400_000, 1_000_000, 2_000_000, 4_000_000] {
+        let in_core = batch::fits_in_core(&titan, n, d, l, precision);
         let ledger = MemoryLedger::new(titan.memory_slots(precision));
         // Resident: features + weights (per Step-1 accounting).
-        let resident = ledger
-            .alloc(((d + l) * n) as f64)
-            .expect("dataset fits on device");
+        let resident = if in_core {
+            Some(
+                ledger
+                    .alloc(((d + l) * n) as f64)
+                    .expect("fits_in_core checked the dataset residency"),
+            )
+        } else {
+            None
+        };
+
+        let (cap_label, mem_label) = if in_core {
+            let plan = batch::max_batch_with(&titan, n, d, l, precision);
+            (plan.capacity_batch, plan.memory_batch.to_string())
+        } else {
+            (
+                batch::batch_for_capacity(&titan, n, d, l),
+                "0 (out-of-core)".to_string(),
+            )
+        };
 
         let mut rows = Vec::new();
-        for m in pow2_sweep(16, plan.memory_batch.max(16)) {
-            // The mini-batch kernel block m·n must also fit.
-            let block = match ledger.alloc((m * n) as f64) {
-                Ok(a) => a,
-                Err(_) => break, // memory cap reached — curve truncates here
-            };
+        for m in pow2_sweep(16, cap_label.max(16)) {
             let iterations = n.div_ceil(m);
-            let ops_per_iter = (n * m * (d + l)) as f64;
+            // In-core pricing while the mini-batch kernel block m·n fits;
+            // streamed pricing (overlapped tile pipeline) beyond.
+            let block = if in_core {
+                ledger.alloc((m * n) as f64).ok()
+            } else {
+                None
+            };
+            let (mode, ops_per_iter, note) = match &block {
+                Some(_) => (
+                    "in-core".to_string(),
+                    (n * m * (d + l)) as f64,
+                    String::new(),
+                ),
+                None => {
+                    let Ok(splan) = batch::max_batch_streamed(
+                        &titan,
+                        n,
+                        d,
+                        l,
+                        precision,
+                        batch::DEFAULT_TILES_IN_FLIGHT,
+                        Some(m),
+                    ) else {
+                        break; // not even a streamed tile fits this m
+                    };
+                    let shape = ProblemShape {
+                        n,
+                        m,
+                        d,
+                        l,
+                        s: 0,
+                        q: 0,
+                    };
+                    let sc = cost::streamed_eigenpro(&shape, splan.n_tile);
+                    (
+                        "streamed".to_string(),
+                        sc.exposed_ops,
+                        format!("n_tile {} ov {:.2}x", splan.n_tile, sc.overlap_factor()),
+                    )
+                }
+            };
             let t_iter = timing::iteration_time(&titan, DeviceMode::ActualGpu, ops_per_iter);
             let epoch_time = t_iter * iterations as f64;
             rows.push(vec![
                 m.to_string(),
+                mode,
                 iterations.to_string(),
                 fmt_secs(t_iter),
                 fmt_secs(epoch_time),
+                note,
             ]);
             drop(block);
         }
         print_table(
-            &format!(
-                "n = {n} (m^C_G = {}, m^S_G = {}, m^max_G = {})",
-                plan.capacity_batch, plan.memory_batch, plan.batch
-            ),
-            &["batch m", "iters/epoch", "time/iter", "time/epoch"],
+            &format!("n = {n} (m^C_G = {cap_label}, m^S_G = {mem_label})"),
+            &[
+                "batch m",
+                "residency",
+                "iters/epoch",
+                "time/iter",
+                "time/epoch",
+                "streaming",
+            ],
             &rows,
         );
         drop(resident);
@@ -65,7 +127,10 @@ fn main() {
     }
     println!(
         "Shape check: for every n, epoch time drops as m grows (linear scaling) and \
-         flattens once the capacity knee m^C_G is passed; curves truncate at the \
-         memory batch m^S_G — matching Figure 3b."
+         flattens once the capacity knee m^C_G is passed. Where curves used to \
+         truncate at the memory batch m^S_G they now continue in streamed mode; \
+         the streamed rows run within a few percent of the in-core trend because \
+         tile assembly (the m·n·d term) overlaps the update — the overlap factor \
+         column quantifies the hidden work."
     );
 }

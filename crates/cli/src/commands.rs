@@ -5,7 +5,7 @@ use std::sync::Arc;
 use ep2_core::autotune;
 use ep2_core::trainer::{EarlyStopping, EigenPro2, TrainConfig};
 use ep2_data::{catalog, Dataset};
-use ep2_device::{DeviceMode, Precision, ResourceSpec};
+use ep2_device::{batch, DeviceMode, Precision, ResidencyMode, ResourceSpec};
 use ep2_kernels::{Kernel, KernelKind};
 
 use crate::args::Parsed;
@@ -28,6 +28,9 @@ common options:
   --kernel <name>     gaussian | laplacian | cauchy | matern32 | matern52 | rq
   --sigma <float>     kernel bandwidth                    (default 5)
   --device <name>     titan-xp | k40c | cpu | virtual     (default virtual)
+  --sg <float>        override the device memory S_G (f32-reference slots);
+                      shrinking it below the dataset residency is how to
+                      exercise out-of-core streaming on a laptop
   --precision <name>  f32 | f64 | mixed                   (default f64)
                       f32 runs the paper's single-precision GPU scenario
                       (doubles the memory-limited batch m^S_G); mixed keeps
@@ -39,6 +42,11 @@ plan/train options:
   --s <int>           Nystrom block size (default: paper rule)
   --q <int>           spectral truncation (default: Eq. 7 + adjustment)
   --batch <int>       mini-batch override (default: m^max_G)
+  --out-of-core       force Streamed residency (kernel blocks produced as
+                      bounded double-buffered tiles); without the flag the
+                      trainer streams automatically when the in-core
+                      residency (d + l + m)·n exceeds S_G
+  --tile <int>        streamed tile width n_tile (default: widest that fits)
   --epochs <int>      epoch cap for train            (default 10)
   --test-frac <f64>   held-out fraction for train    (default 0.2)
   --no-early-stop     disable validation early stopping
@@ -131,18 +139,26 @@ fn load_dataset(parsed: &Parsed) -> Result<Dataset, String> {
 }
 
 fn load_device(parsed: &Parsed) -> Result<ResourceSpec, String> {
-    match parsed
+    let mut spec = match parsed
         .options
         .get("device")
         .map(String::as_str)
         .unwrap_or("virtual")
     {
-        "titan-xp" => Ok(ResourceSpec::titan_xp()),
-        "k40c" => Ok(ResourceSpec::tesla_k40c()),
-        "cpu" => Ok(ResourceSpec::cpu_host()),
-        "virtual" => Ok(ResourceSpec::scaled_virtual_gpu()),
-        other => Err(format!("unknown device {other} (see `ep2 devices`)")),
+        "titan-xp" => ResourceSpec::titan_xp(),
+        "k40c" => ResourceSpec::tesla_k40c(),
+        "cpu" => ResourceSpec::cpu_host(),
+        "virtual" => ResourceSpec::scaled_virtual_gpu(),
+        other => return Err(format!("unknown device {other} (see `ep2 devices`)")),
+    };
+    if let Some(sg) = parsed.get_opt::<f64>("sg")? {
+        if !(sg > 0.0 && sg.is_finite()) {
+            return Err("--sg must be positive".to_string());
+        }
+        spec.memory_floats = sg;
+        spec.name = format!("{} (S_G = {sg:.3e})", spec.name);
     }
+    Ok(spec)
 }
 
 fn load_precision(parsed: &Parsed) -> Result<Precision, String> {
@@ -169,18 +185,52 @@ fn plan(parsed: &Parsed) -> Result<(), String> {
     let seed: u64 = parsed.get_or("seed", 0)?;
     let precision = load_precision(parsed)?;
     let kernel: Arc<dyn Kernel> = kind.with_bandwidth(sigma).into();
-    let (params, _) = autotune::plan(
-        &kernel,
-        &dataset.features,
-        dataset.n_classes,
-        &device,
-        parsed.get_opt("s")?,
-        parsed.get_opt("q")?,
-        parsed.get_opt("batch")?,
-        precision,
-        seed,
-    )
-    .map_err(|e| e.to_string())?;
+    let (n, d, l) = (dataset.len(), dataset.dim(), dataset.n_classes);
+    let streamed = parsed.flag("out-of-core") || !batch::fits_in_core(&device, n, d, l, precision);
+    let stream_plan = if streamed {
+        // Same ring depth the trainer will use (producers need headroom),
+        // so `plan` previews exactly the tiling `train` executes.
+        let tiles_in_flight = batch::DEFAULT_TILES_IN_FLIGHT.max(ep2_stream::num_producers() + 1);
+        Some(
+            batch::max_batch_streamed(
+                &device,
+                n,
+                d,
+                l,
+                precision,
+                tiles_in_flight,
+                parsed.get_opt("batch")?,
+            )
+            .map_err(|e| e.to_string())?,
+        )
+    } else {
+        None
+    };
+    let (params, _) = match &stream_plan {
+        Some(splan) => autotune::plan_streamed(
+            &kernel,
+            &dataset.features,
+            &device,
+            parsed.get_opt("s")?,
+            parsed.get_opt("q")?,
+            splan,
+            precision,
+            seed,
+        )
+        .map_err(|e| e.to_string())?,
+        None => autotune::plan(
+            &kernel,
+            &dataset.features,
+            dataset.n_classes,
+            &device,
+            parsed.get_opt("s")?,
+            parsed.get_opt("q")?,
+            parsed.get_opt("batch")?,
+            precision,
+            seed,
+        )
+        .map_err(|e| e.to_string())?,
+    };
     println!(
         "dataset: {} (n = {}, d = {}, l = {})",
         dataset.name,
@@ -194,10 +244,29 @@ fn plan(parsed: &Parsed) -> Result<(), String> {
         device.memory_slots(precision)
     );
     println!();
-    println!(
-        "Step 1   m^C_G = {}   m^S_G = {}   m = {}",
-        params.capacity_batch, params.memory_batch, params.m
-    );
+    match &stream_plan {
+        Some(splan) => {
+            println!(
+                "Step 1   residency = {} | m^C_G = {}   m = {}   n_tile = {}   \
+                 tiles in flight = {}",
+                ResidencyMode::Streamed,
+                params.capacity_batch,
+                params.m,
+                splan.n_tile,
+                splan.tiles_in_flight
+            );
+            println!(
+                "         peak residency {:.3e} of {:.3e} slots \
+                 (ring + weights + batch block)",
+                splan.resident_slots(precision),
+                device.memory_floats
+            );
+        }
+        None => println!(
+            "Step 1   m^C_G = {}   m^S_G = {}   m = {}",
+            params.capacity_batch, params.memory_batch, params.m
+        ),
+    }
     println!(
         "Step 2   q(Eq.7) = {}   adjusted q = {}   s = {}",
         params.q, params.adjusted_q, params.s
@@ -286,6 +355,12 @@ fn train(parsed: &Parsed) -> Result<(), String> {
         target_val_error: None,
         device_mode: DeviceMode::ActualGpu,
         precision: load_precision(parsed)?,
+        residency: if parsed.flag("out-of-core") {
+            Some(ResidencyMode::Streamed)
+        } else {
+            None
+        },
+        stream_tile: parsed.get_opt("tile")?,
         seed: parsed.get_or("seed", 0)?,
     };
     let outcome = EigenPro2::new(config, device)
@@ -294,11 +369,12 @@ fn train(parsed: &Parsed) -> Result<(), String> {
 
     let p = &outcome.report.params;
     println!(
-        "{}: n = {} train / {} test | {kind} sigma = {sigma} | {} | m = {}, q = {}, eta = {:.1}",
+        "{}: n = {} train / {} test | {kind} sigma = {sigma} | {} | {} | m = {}, q = {}, eta = {:.1}",
         train_set.name,
         train_set.len(),
         test_set.len(),
         outcome.report.precision,
+        outcome.report.residency,
         p.m,
         p.adjusted_q,
         p.eta
@@ -327,6 +403,10 @@ fn train(parsed: &Parsed) -> Result<(), String> {
         outcome.report.simulated_seconds * 1e3,
         outcome.report.wall_seconds,
         outcome.report.overhead_fraction * 100.0
+    );
+    println!(
+        "memory: {} residency | peak {:.3e} of {:.3e} S_G slots",
+        outcome.report.residency, outcome.report.peak_slots, outcome.report.budget_slots
     );
     if let Some(path) = parsed.options.get("save") {
         ep2_core::persist::save(&outcome.model, path).map_err(|e| e.to_string())?;
@@ -496,6 +576,95 @@ mod tests {
             "f32",
         ]);
         assert!(run(&p).is_ok());
+    }
+
+    #[test]
+    fn train_out_of_core_with_tiny_sg() {
+        // S_G = 4000 slots ≪ the susy-like residency: only the streamed
+        // path can train this, and the flag makes it explicit.
+        let p = parsed(&[
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "300",
+            "--sigma",
+            "4",
+            "--s",
+            "60",
+            "--epochs",
+            "1",
+            "--sg",
+            "4000",
+            "--out-of-core",
+            "--no-early-stop",
+        ]);
+        assert!(run(&p).is_ok());
+        // Same dataset without the flag auto-streams too (residency is
+        // chosen by the trainer when S_G is too small).
+        let auto = parsed(&[
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "300",
+            "--sigma",
+            "4",
+            "--s",
+            "60",
+            "--epochs",
+            "1",
+            "--sg",
+            "4000",
+            "--no-early-stop",
+        ]);
+        assert!(run(&auto).is_ok());
+    }
+
+    #[test]
+    fn plan_reports_streamed_tiling_when_over_budget() {
+        let p = parsed(&[
+            "plan",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "300",
+            "--sigma",
+            "4",
+            "--s",
+            "60",
+            "--sg",
+            "4000",
+        ]);
+        assert!(run(&p).is_ok());
+        // Forced streaming on a roomy device also plans.
+        let f = parsed(&[
+            "plan",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "300",
+            "--sigma",
+            "4",
+            "--s",
+            "60",
+            "--out-of-core",
+        ]);
+        assert!(run(&f).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_sg() {
+        assert!(run(&parsed(&[
+            "plan",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "100",
+            "--sg",
+            "-5"
+        ]))
+        .is_err());
     }
 
     #[test]

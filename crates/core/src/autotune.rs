@@ -115,10 +115,85 @@ pub fn plan<S: Scalar>(
             message: "training set is empty".to_string(),
         });
     }
-
     // Step 1: resource-saturating batch size under the chosen precision.
     let plan = batch::max_batch_with(device, n, d, n_labels, precision);
-    let m = m_override.unwrap_or(plan.batch).clamp(1, n);
+    let step1 = Step1 {
+        m: m_override.unwrap_or(plan.batch).clamp(1, n),
+        capacity_batch: plan.capacity_batch,
+        memory_batch: plan.memory_batch,
+        setup_elements: None,
+    };
+    plan_with_step1(kernel, train_x, s_override, q_override, step1, seed)
+}
+
+/// [`plan`] for the out-of-core (`Streamed`) residency: Step 1 is the
+/// *streamed* plan (`m` and `n_tile` chosen jointly by
+/// [`ep2_device::batch::max_batch_streamed`] — the in-core `m^S_G` has no
+/// solution, which is why the run streams), and the Step-2 setup probes
+/// are clamped so they do not *grow* the setup transients past the device
+/// budget: the `λ₁(K_G)` power-iteration probe keeps its extra
+/// (off-subsample) rows within [`crate::precond::probe_cap_for_elements`],
+/// and the `β(K_G)` diagonal sample is capped at `budget / s` rows. The
+/// `s x s` subsample eigensolve itself is Step 2's irreducible setup cost
+/// and is *not* reducible here — choose `s ≲ sqrt(S_G)` when the setup
+/// phase must also fit the device.
+///
+/// Reported parameters: `m` is the streamed batch, `capacity_batch` the
+/// unshrunk `m^C_G`, and `memory_batch` is 0 — the in-core memory bound's
+/// "does not fit" marker.
+///
+/// # Errors
+///
+/// Propagates eigensolver and configuration failures.
+// Positional options mirror `plan` 1:1 (same rationale as there).
+#[allow(clippy::too_many_arguments)]
+pub fn plan_streamed<S: Scalar>(
+    kernel: &Arc<dyn Kernel<S>>,
+    train_x: &Matrix<S>,
+    device: &ResourceSpec,
+    s_override: Option<usize>,
+    q_override: Option<usize>,
+    splan: &batch::StreamedBatchPlan,
+    precision: Precision,
+    seed: u64,
+) -> Result<(AutoParams, Option<Preconditioner<S>>), CoreError> {
+    if train_x.rows() == 0 {
+        return Err(CoreError::InvalidConfig {
+            message: "training set is empty".to_string(),
+        });
+    }
+    let step1 = Step1 {
+        m: splan.m,
+        capacity_batch: splan.capacity_batch,
+        memory_batch: 0,
+        setup_elements: Some(device.memory_slots(precision)),
+    };
+    plan_with_step1(kernel, train_x, s_override, q_override, step1, seed)
+}
+
+/// The Step-1 outcome [`plan_with_step1`] starts from, however it was
+/// computed (in-core `max_batch_with` or streamed `max_batch_streamed`).
+struct Step1 {
+    m: usize,
+    capacity_batch: usize,
+    memory_batch: usize,
+    /// When set (streamed mode), setup transients are clamped to this many
+    /// matrix elements.
+    setup_elements: Option<f64>,
+}
+
+/// Step 2 plus the Step-3 analytics, shared by the in-core and streamed
+/// planners.
+fn plan_with_step1<S: Scalar>(
+    kernel: &Arc<dyn Kernel<S>>,
+    train_x: &Matrix<S>,
+    s_override: Option<usize>,
+    q_override: Option<usize>,
+    step1: Step1,
+    seed: u64,
+) -> Result<(AutoParams, Option<Preconditioner<S>>), CoreError> {
+    let n = train_x.rows();
+    let m = step1.m;
 
     // Step 2: subsample eigensystem and the Eq.-(7) / adjusted q.
     let s = s_override
@@ -149,12 +224,24 @@ pub fn plan<S: Scalar>(
     } else {
         let p =
             Preconditioner::from_eigens_damped(eig, adjusted_q, crate::precond::DEFAULT_DAMPING)?;
-        let beta_g = p.beta_estimate(kernel, train_x, BETA_SAMPLE, seed);
+        // Streamed mode: clamp the setup transients to the device budget —
+        // the β sample assembles a `sample x s` feature map and the probe a
+        // `probe x probe` kernel block, neither of which may exceed what
+        // the streaming plan promises never to exceed.
+        let beta_sample = match step1.setup_elements {
+            Some(e) => BETA_SAMPLE.min(((e / s.max(1) as f64) as usize).max(1)),
+            None => BETA_SAMPLE,
+        };
+        let beta_g = p.beta_estimate(kernel, train_x, beta_sample, seed);
         // The analytic λ₁(K_G) assumes exact Nyström eigenfunctions; the
         // power-iteration probe additionally captures estimation leakage in
         // the damped directions. The max of the two keeps the analytic step
         // size on the stable side (see Preconditioner::probe_lambda_max).
-        let probe = (s + PROBE_EXTRAS).min(n);
+        let probe_cap = step1
+            .setup_elements
+            .map(crate::precond::probe_cap_for_elements)
+            .unwrap_or(usize::MAX);
+        let probe = (s + PROBE_EXTRAS).min(n).min(probe_cap.max(s));
         let lambda1_probed = p.probe_lambda_max(kernel, train_x, probe, PROBE_ITERS, seed);
         let lambda1_g = p.lambda1_preconditioned().max(lambda1_probed);
         (Some(p), beta_g, lambda1_g)
@@ -167,8 +254,8 @@ pub fn plan<S: Scalar>(
     Ok((
         AutoParams {
             m,
-            capacity_batch: plan.capacity_batch,
-            memory_batch: plan.memory_batch,
+            capacity_batch: step1.capacity_batch,
+            memory_batch: step1.memory_batch,
             q: q_eq7,
             adjusted_q,
             s,

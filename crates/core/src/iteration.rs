@@ -20,7 +20,7 @@
 //! so per-iteration wall time tracks the `2·m·n·(d+l)` operation count the
 //! simulated clock prices (see `BENCH_gemm.json`).
 
-use ep2_linalg::{Matrix, Scalar};
+use ep2_linalg::{blas, Matrix, Scalar};
 
 use crate::counter::FlopCounter;
 use crate::model::KernelModel;
@@ -103,11 +103,6 @@ impl<S: Scalar> EigenProIteration<S> {
     ///
     /// Panics if any batch index is out of range or `y` has wrong shape.
     pub fn step(&mut self, batch_indices: &[usize], y: &Matrix<S>) -> f64 {
-        let n = self.model.n_centers();
-        let l = self.model.n_outputs();
-        let d = self.model.dim();
-        assert_eq!(y.rows(), n, "targets must cover all centers");
-        assert_eq!(y.cols(), l, "target width mismatch");
         let m = batch_indices.len();
         assert!(m > 0, "empty mini-batch");
 
@@ -120,6 +115,107 @@ impl<S: Scalar> EigenProIteration<S> {
             self.model.centers(),
         );
         let f = self.model.predict_from_kernel_block(&k_block);
+
+        // Φ: gather the subsample columns of the batch kernel block
+        // (k(x_r_j, x_t_i) already computed in Step 2).
+        let phi = self.precond.as_ref().map(|precond| {
+            let sub_idx = precond.subsample_indices();
+            let mut phi: Matrix<S> = Matrix::zeros(m, precond.s());
+            for bi in 0..m {
+                let src = k_block.row(bi);
+                let dst = phi.row_mut(bi);
+                for (j, &cj) in sub_idx.iter().enumerate() {
+                    dst[j] = src[cj];
+                }
+            }
+            phi
+        });
+        self.finish_step(batch_indices, y, f, phi)
+    }
+
+    /// The streamed (out-of-core) variant of [`EigenProIteration::step`]:
+    /// instead of one resident `m x n` kernel block, the block arrives as a
+    /// sequence of column tiles (the [`ep2_stream::TileGuard`]s a
+    /// [`ep2_stream::StreamEngine`] delivers). Tiles must arrive in column
+    /// order and cover all `n` centers exactly once; each tile contributes
+    /// its slice of the prediction (`f += K_tile · α[tile]`) and of the
+    /// feature map `Φ`, and its ring buffer recycles as soon as the guard
+    /// drops — so peak residency stays at the plan's budget while assembly
+    /// of the next tile overlaps this consumer work.
+    ///
+    /// Returns the operation count of this iteration (for the simulated
+    /// clock); the counted work is identical to the in-core step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tiles do not tile `0..n` contiguously, a tile's row
+    /// count differs from the batch size, any batch index is out of range,
+    /// or `y` has the wrong shape.
+    pub fn step_streamed<I>(&mut self, batch_indices: &[usize], y: &Matrix<S>, tiles: I) -> f64
+    where
+        I: IntoIterator<Item = ep2_stream::TileGuard<S>>,
+    {
+        let n = self.model.n_centers();
+        let l = self.model.n_outputs();
+        let m = batch_indices.len();
+        assert!(m > 0, "empty mini-batch");
+
+        let mut f: Matrix<S> = Matrix::zeros(m, l);
+        let sub_idx = self
+            .precond
+            .as_ref()
+            .map(|p| p.subsample_indices().to_vec())
+            .unwrap_or_default();
+        let mut phi: Option<Matrix<S>> = self.precond.as_ref().map(|p| Matrix::zeros(m, p.s()));
+        let mut covered = 0usize;
+        for tile in tiles {
+            let range = tile.col_range();
+            assert_eq!(
+                range.start, covered,
+                "tiles must arrive in column order with no gaps"
+            );
+            assert_eq!(tile.block().rows(), m, "tile row count != batch size");
+            covered = range.end;
+            // f += K_tile · α[range].
+            let w_tile = self
+                .model
+                .weights()
+                .submatrix(range.start, 0, range.len(), l);
+            blas::gemm(S::ONE, tile.block(), &w_tile, S::ONE, &mut f);
+            // Φ columns whose subsample center falls inside this tile.
+            if let Some(phi) = phi.as_mut() {
+                for (j, &cj) in sub_idx.iter().enumerate() {
+                    if range.contains(&cj) {
+                        let local = cj - range.start;
+                        for bi in 0..m {
+                            phi[(bi, j)] = tile.block()[(bi, local)];
+                        }
+                    }
+                }
+            }
+            // `tile` drops here: the ring buffer recycles to the producers.
+        }
+        assert_eq!(covered, n, "tiles must cover all {n} centers");
+        self.finish_step(batch_indices, y, f, phi)
+    }
+
+    /// Steps 2b–5 of Algorithm 1, shared by the in-core and streamed paths:
+    /// given the mini-batch predictions `f` (and the feature map `Φ` when
+    /// preconditioning), form the residual, update the sampled coordinate
+    /// block, apply the preconditioner correction, and account the work.
+    fn finish_step(
+        &mut self,
+        batch_indices: &[usize],
+        y: &Matrix<S>,
+        f: Matrix<S>,
+        phi: Option<Matrix<S>>,
+    ) -> f64 {
+        let n = self.model.n_centers();
+        let l = self.model.n_outputs();
+        let d = self.model.dim();
+        assert_eq!(y.rows(), n, "targets must cover all centers");
+        assert_eq!(y.cols(), l, "target width mismatch");
+        let m = batch_indices.len();
 
         // Residual G = f − y on the batch.
         let mut g = f;
@@ -146,18 +242,8 @@ impl<S: Scalar> EigenProIteration<S> {
 
         // Steps 4–5: preconditioner correction on the fixed block.
         if let Some(precond) = &self.precond {
-            let s = precond.s();
-            // Φ: gather the subsample columns of the batch kernel block
-            // (k(x_r_j, x_t_i) already computed in Step 2).
+            let phi = phi.expect("phi gathered whenever a preconditioner is set");
             let sub_idx = precond.subsample_indices();
-            let mut phi: Matrix<S> = Matrix::zeros(m, s);
-            for bi in 0..m {
-                let src = k_block.row(bi);
-                let dst = phi.row_mut(bi);
-                for (j, &cj) in sub_idx.iter().enumerate() {
-                    dst[j] = src[cj];
-                }
-            }
             let correction = precond.apply_correction(&phi, &g);
             precond_ops = precond.correction_ops(m, l);
             for (j, &idx) in sub_idx.iter().enumerate() {
@@ -315,6 +401,77 @@ mod tests {
         let f = it.model().predict(&x);
         let mse = ep2_data::metrics::mse(&f, &y);
         assert!(mse < 1e-6, "not interpolating: mse {mse}");
+    }
+
+    /// Cuts the in-core kernel block of a batch into detached column tiles
+    /// (what the streaming producers would deliver, minus the threads).
+    fn tiles_for(
+        model: &KernelModel,
+        batch: &[usize],
+        n_tile: usize,
+    ) -> Vec<ep2_stream::TileGuard<f64>> {
+        let bx = model.centers().select_rows(batch);
+        let block =
+            ep2_kernels::matrix::kernel_cross(model.kernel().as_ref(), &bx, model.centers());
+        let n = model.n_centers();
+        let mut tiles = Vec::new();
+        let mut j0 = 0;
+        while j0 < n {
+            let cols = n_tile.min(n - j0);
+            let mut t = Matrix::zeros(batch.len(), cols);
+            for i in 0..batch.len() {
+                t.row_mut(i).copy_from_slice(&block.row(i)[j0..j0 + cols]);
+            }
+            tiles.push(ep2_stream::TileGuard::detached(j0, t));
+            j0 += cols;
+        }
+        tiles
+    }
+
+    /// A streamed step must produce (numerically near-)identical weights to
+    /// the in-core step: the only difference is the column order of the
+    /// prediction accumulation.
+    #[test]
+    fn streamed_step_matches_in_core_step() {
+        let (x, y, k) = toy_problem(90, 11);
+        let p = Preconditioner::fit_damped(&k, &x, 40, 6, 0.95, 3).unwrap();
+        let batch: Vec<usize> = (10..42).collect();
+        for n_tile in [7usize, 16, 64, 90] {
+            let mut a = EigenProIteration::new(
+                KernelModel::zeros(k.clone(), x.clone(), 1),
+                Some(p.clone()),
+                0.5,
+            );
+            let mut b = EigenProIteration::new(
+                KernelModel::zeros(k.clone(), x.clone(), 1),
+                Some(p.clone()),
+                0.5,
+            );
+            let ops_in_core = a.step(&batch, &y);
+            let tiles = tiles_for(b.model(), &batch, n_tile);
+            let ops_streamed = b.step_streamed(&batch, &y, tiles);
+            assert_eq!(ops_in_core, ops_streamed, "identical accounted work");
+            for (u, v) in a
+                .model()
+                .weights()
+                .as_slice()
+                .iter()
+                .zip(b.model().weights().as_slice())
+            {
+                assert!((u - v).abs() < 1e-12, "tile {n_tile}: {u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all")]
+    fn streamed_step_rejects_partial_tiles() {
+        let (x, y, k) = toy_problem(30, 5);
+        let mut it = EigenProIteration::new(KernelModel::zeros(k, x, 1), None, 1.0);
+        let batch: Vec<usize> = (0..4).collect();
+        let mut tiles = tiles_for(it.model(), &batch, 10);
+        tiles.pop(); // drop the last tile: columns 20..30 never arrive
+        it.step_streamed(&batch, &y, tiles);
     }
 
     #[test]

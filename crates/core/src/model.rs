@@ -16,10 +16,16 @@ use ep2_linalg::{blas, Matrix, Scalar};
 /// weights, and transient kernel blocks are all f32 — half the resident
 /// memory the device ledger charges, and the memory-bound prediction GEMM
 /// runs correspondingly faster.
+///
+/// The (immutable) center matrix is held behind an [`Arc`]: cloning a model
+/// shares the training features instead of copying them, and the out-of-core
+/// streaming engine holds the same handle its producers assemble tiles from
+/// while the trainer mutates the weights — no aliasing, no duplicate copy of
+/// the (potentially enormous) training set.
 #[derive(Debug, Clone)]
 pub struct KernelModel<S: Scalar = f64> {
     kernel: Arc<dyn Kernel<S>>,
-    centers: Matrix<S>,
+    centers: Arc<Matrix<S>>,
     weights: Matrix<S>,
 }
 
@@ -30,6 +36,16 @@ impl<S: Scalar> KernelModel<S> {
     ///
     /// Panics if `centers` is empty or `l == 0`.
     pub fn zeros(kernel: Arc<dyn Kernel<S>>, centers: Matrix<S>, l: usize) -> Self {
+        Self::zeros_shared(kernel, Arc::new(centers), l)
+    }
+
+    /// [`KernelModel::zeros`] over an already-shared center matrix (the
+    /// out-of-core trainer hands the same `Arc` to the streaming engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `centers` is empty or `l == 0`.
+    pub fn zeros_shared(kernel: Arc<dyn Kernel<S>>, centers: Arc<Matrix<S>>, l: usize) -> Self {
         assert!(centers.rows() > 0, "model needs at least one center");
         assert!(l > 0, "label dimension must be positive");
         let weights = Matrix::zeros(centers.rows(), l);
@@ -53,7 +69,7 @@ impl<S: Scalar> KernelModel<S> {
         assert_eq!(weights.rows(), centers.rows(), "weights/centers mismatch");
         KernelModel {
             kernel,
-            centers,
+            centers: Arc::new(centers),
             weights,
         }
     }
@@ -81,6 +97,13 @@ impl<S: Scalar> KernelModel<S> {
     /// The center matrix (training features).
     pub fn centers(&self) -> &Matrix<S> {
         &self.centers
+    }
+
+    /// A shared handle to the center matrix — what the out-of-core
+    /// streaming producers assemble kernel tiles from while the trainer
+    /// owns the model mutably.
+    pub fn centers_shared(&self) -> Arc<Matrix<S>> {
+        Arc::clone(&self.centers)
     }
 
     /// The weight matrix `α` (`n x l`).
@@ -111,7 +134,7 @@ impl<S: Scalar> KernelModel<S> {
             kind.with_bandwidth_in::<T>(self.kernel.bandwidth()).into();
         KernelModel {
             kernel,
-            centers: self.centers.cast(),
+            centers: Arc::new(self.centers.cast()),
             weights: self.weights.cast(),
         }
     }
@@ -146,6 +169,46 @@ impl<S: Scalar> KernelModel<S> {
             let k_block = kmat::kernel_cross(self.kernel.as_ref(), &block, &self.centers);
             let mut f_block = Matrix::zeros(rows, l);
             blas::gemm(S::ONE, &k_block, &self.weights, S::ZERO, &mut f_block);
+            for i in 0..rows {
+                out.row_mut(row0 + i).copy_from_slice(f_block.row(i));
+            }
+            row0 += rows;
+        }
+        out
+    }
+
+    /// [`KernelModel::predict_blocked`] with the kernel block additionally
+    /// tiled over *columns* (centers): the transient kernel panel never
+    /// exceeds `block_rows x col_tile` elements, so evaluation respects an
+    /// out-of-core memory budget where the plain row-blocked path would
+    /// materialise a `block_rows x n` block. Predictions accumulate tile by
+    /// tile: `f += K[:, j0..j1] · α[j0..j1, :]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()` or either blocking factor is 0.
+    pub fn predict_tiled(&self, x: &Matrix<S>, block_rows: usize, col_tile: usize) -> Matrix<S> {
+        assert_eq!(x.cols(), self.dim(), "predict: feature dim mismatch");
+        assert!(block_rows > 0, "block_rows must be positive");
+        assert!(col_tile > 0, "col_tile must be positive");
+        let n = self.n_centers();
+        let l = self.n_outputs();
+        let m = x.rows();
+        let mut out = Matrix::zeros(m, l);
+        let mut row0 = 0;
+        while row0 < m {
+            let rows = block_rows.min(m - row0);
+            let block = x.submatrix(row0, 0, rows, x.cols());
+            let mut f_block = Matrix::zeros(rows, l);
+            let mut j0 = 0;
+            while j0 < n {
+                let cols = col_tile.min(n - j0);
+                let c_tile = self.centers.submatrix(j0, 0, cols, self.dim());
+                let k_tile = kmat::kernel_cross(self.kernel.as_ref(), &block, &c_tile);
+                let w_tile = self.weights.submatrix(j0, 0, cols, l);
+                blas::gemm(S::ONE, &k_tile, &w_tile, S::ONE, &mut f_block);
+                j0 += cols;
+            }
             for i in 0..rows {
                 out.row_mut(row0 + i).copy_from_slice(f_block.row(i));
             }
@@ -217,6 +280,32 @@ mod tests {
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((u - v).abs() < 1e-14);
         }
+    }
+
+    #[test]
+    fn tiled_prediction_matches_unblocked() {
+        let mut m = toy_model();
+        m.weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
+        let x = Matrix::from_fn(10, 2, |i, j| (i as f64) * 0.3 - (j as f64) * 0.1);
+        let full = m.predict(&x);
+        for (rows, cols) in [(1, 1), (3, 2), (100, 3), (4, 100)] {
+            let tiled = m.predict_tiled(&x, rows, cols);
+            for (u, v) in tiled.as_slice().iter().zip(full.as_slice()) {
+                assert!((u - v).abs() < 1e-14, "tile {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn clone_shares_centers() {
+        let m = toy_model();
+        let c = m.clone();
+        assert!(std::sync::Arc::ptr_eq(
+            &m.centers_shared(),
+            &c.centers_shared()
+        ));
     }
 
     #[test]

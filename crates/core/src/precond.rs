@@ -43,6 +43,26 @@ use crate::CoreError;
 /// randomized subspace iteration on `K_s`.
 const DENSE_EIG_THRESHOLD: usize = 2048;
 
+/// Largest probe-subset size whose transient `probe x probe` kernel matrix
+/// fits within `elements` matrix-element slots.
+///
+/// Setup-time transients (the `λ₁(K_G)` power-iteration probe, the `β(K_G)`
+/// diagonal sample) are not ledger-charged — they are released before the
+/// training loop starts — but under the out-of-core `Streamed` residency
+/// they should not *grow* past the device either: a probe block much bigger
+/// than the device defeats the point of streaming. `autotune::plan_streamed`
+/// clamps its probe and β-sample sizes with this cap. The clamp floors at
+/// the subsample size `s` (a probe below `s` is meaningless), so the
+/// `s x s` subsample block — Step 2's irreducible setup transient — is the
+/// caller's responsibility: choose `s ≲ sqrt(S_G)` when setup must also fit.
+pub fn probe_cap_for_elements(elements: f64) -> usize {
+    if elements <= 1.0 {
+        1
+    } else {
+        elements.sqrt().floor() as usize
+    }
+}
+
 /// The eigensystem of a subsample kernel matrix: the raw material for both
 /// the preconditioner and the Eq.-(7) choice of `q`.
 #[derive(Debug, Clone)]

@@ -32,9 +32,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ep2_data::{metrics, Dataset};
-use ep2_device::{DeviceMode, Precision, ResourceSpec, SimClock};
+use ep2_device::{batch, DeviceMode, Precision, ResidencyMode, ResourceSpec, SimClock};
 use ep2_kernels::KernelKind;
 use ep2_linalg::{Matrix, Scalar};
+use ep2_stream::{BlockPlan, StreamEngine};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -96,6 +97,18 @@ pub struct TrainConfig {
     pub device_mode: DeviceMode,
     /// Numeric precision policy (see the module docs).
     pub precision: Precision,
+    /// Residency override: `None` (the default) picks
+    /// [`ResidencyMode::InCore`] when the Step-1 bound
+    /// `(d + l + m) · n ≤ S_G` has a solution and
+    /// [`ResidencyMode::Streamed`] (out-of-core kernel-block streaming)
+    /// when even `m = 1` over-budgets. `Some(mode)` forces the mode —
+    /// forcing `Streamed` on a problem that fits is how the in-core vs
+    /// streamed equivalence tests and throughput comparisons run.
+    pub residency: Option<ResidencyMode>,
+    /// Streamed-mode tile-width override (columns per kernel-block tile);
+    /// `None` = the widest tile the ring budget affords. Must still fit the
+    /// budget formula — see `ep2_device::batch::streamed_slots`.
+    pub stream_tile: Option<usize>,
     /// RNG seed (subsampling + batch shuffling).
     pub seed: u64,
 }
@@ -115,6 +128,8 @@ impl Default for TrainConfig {
             target_val_error: None,
             device_mode: DeviceMode::ActualGpu,
             precision: Precision::F64,
+            residency: None,
+            stream_tile: None,
             seed: 0,
         }
     }
@@ -162,6 +177,16 @@ pub struct TrainReport {
     pub eta_backoffs: u32,
     /// Numeric precision policy the run executed under.
     pub precision: Precision,
+    /// Residency the run executed under (`Streamed` = out-of-core
+    /// kernel-block streaming).
+    pub residency: ResidencyMode,
+    /// High-water mark of ledger-charged device slots over the whole run —
+    /// streamed runs assert `peak_slots <= budget_slots` to prove they
+    /// never exceeded `S_G`.
+    pub peak_slots: f64,
+    /// The device budget `S_G` the ledger enforced (raw f32-reference
+    /// slots).
+    pub budget_slots: f64,
 }
 
 /// Why the training loop ended.
@@ -295,53 +320,183 @@ impl EigenPro2 {
         let features_s: Cow<'_, Matrix<S>> = cast_cow(features);
         let targets_s: Cow<'_, Matrix<S>> = cast_cow(targets);
         let n_outputs = targets.cols();
+        let n = features.rows();
+        let d = features.cols();
 
-        // Steps 1–2 (+ Step-3 parameters).
-        let (params, precond) = if plan_at_f64 {
-            let kernel64: Arc<dyn ep2_kernels::Kernel> =
-                cfg.kernel.with_bandwidth(cfg.bandwidth).into();
-            let (params, precond64) = autotune::plan(
-                &kernel64,
-                features,
-                n_outputs,
-                &self.device,
-                cfg.subsample_size,
-                cfg.q,
-                cfg.batch_size,
-                cfg.precision,
-                cfg.seed,
-            )?;
-            (params, precond64.map(|p| p.cast::<S>()))
+        // Residency: honour the override, otherwise stream exactly when the
+        // in-core Step-1 bound has no solution (m^S_G = 0 — features +
+        // weights + one kernel-block row over-budget).
+        let fits = batch::fits_in_core(&self.device, n, d, n_outputs, cfg.precision);
+        let residency = cfg.residency.unwrap_or(if fits {
+            ResidencyMode::InCore
         } else {
-            autotune::plan(
-                &kernel,
-                &features_s,
-                n_outputs,
-                &self.device,
-                cfg.subsample_size,
-                cfg.q,
-                cfg.batch_size,
-                cfg.precision,
-                cfg.seed,
-            )?
+            ResidencyMode::Streamed
+        });
+        if residency == ResidencyMode::InCore && !fits {
+            return Err(CoreError::DeviceMemory {
+                message: format!(
+                    "in-core residency needs (d + l + 1)·n = {:.3e} slots of {:.3e} at {}; \
+                     the dataset can only train Streamed (--out-of-core)",
+                    ((d + n_outputs + 1) * n) as f64 * cfg.precision.slot_factor(),
+                    self.device.memory_floats,
+                    cfg.precision,
+                ),
+            });
+        }
+
+        // Steps 1–2 (+ Step-3 parameters), residency-specific.
+        let stream_plan = match residency {
+            ResidencyMode::InCore => None,
+            ResidencyMode::Streamed => {
+                let tiles_in_flight =
+                    batch::DEFAULT_TILES_IN_FLIGHT.max(ep2_stream::num_producers() + 1);
+                let mut splan = batch::max_batch_streamed(
+                    &self.device,
+                    n,
+                    d,
+                    n_outputs,
+                    cfg.precision,
+                    tiles_in_flight,
+                    cfg.batch_size,
+                )
+                .map_err(|e| CoreError::DeviceMemory {
+                    message: e.to_string(),
+                })?;
+                if let Some(tile) = cfg.stream_tile {
+                    splan.n_tile = tile.clamp(1, n);
+                    splan.resident_elements = batch::streamed_slots(
+                        n,
+                        d,
+                        n_outputs,
+                        splan.m,
+                        splan.n_tile,
+                        tiles_in_flight,
+                    );
+                    if splan.resident_slots(cfg.precision) > self.device.memory_floats {
+                        return Err(CoreError::DeviceMemory {
+                            message: format!(
+                                "stream_tile override {} needs {:.3e} slots of {:.3e}",
+                                splan.n_tile,
+                                splan.resident_slots(cfg.precision),
+                                self.device.memory_floats,
+                            ),
+                        });
+                    }
+                }
+                Some(splan)
+            }
+        };
+        let (params, precond) = match &stream_plan {
+            None => {
+                if plan_at_f64 {
+                    let kernel64: Arc<dyn ep2_kernels::Kernel> =
+                        cfg.kernel.with_bandwidth(cfg.bandwidth).into();
+                    let (params, precond64) = autotune::plan(
+                        &kernel64,
+                        features,
+                        n_outputs,
+                        &self.device,
+                        cfg.subsample_size,
+                        cfg.q,
+                        cfg.batch_size,
+                        cfg.precision,
+                        cfg.seed,
+                    )?;
+                    (params, precond64.map(|p| p.cast::<S>()))
+                } else {
+                    autotune::plan(
+                        &kernel,
+                        &features_s,
+                        n_outputs,
+                        &self.device,
+                        cfg.subsample_size,
+                        cfg.q,
+                        cfg.batch_size,
+                        cfg.precision,
+                        cfg.seed,
+                    )?
+                }
+            }
+            Some(splan) => {
+                if plan_at_f64 {
+                    let kernel64: Arc<dyn ep2_kernels::Kernel> =
+                        cfg.kernel.with_bandwidth(cfg.bandwidth).into();
+                    let (params, precond64) = autotune::plan_streamed(
+                        &kernel64,
+                        features,
+                        &self.device,
+                        cfg.subsample_size,
+                        cfg.q,
+                        splan,
+                        cfg.precision,
+                        cfg.seed,
+                    )?;
+                    (params, precond64.map(|p| p.cast::<S>()))
+                } else {
+                    autotune::plan_streamed(
+                        &kernel,
+                        &features_s,
+                        &self.device,
+                        cfg.subsample_size,
+                        cfg.q,
+                        splan,
+                        cfg.precision,
+                        cfg.seed,
+                    )?
+                }
+            }
         };
         let m = params.m;
         let eta = cfg.step_size.unwrap_or(params.eta);
 
-        // Enforce the Step-1 memory accounting on the device ledger: the
-        // resident features (d·n) + weights (l·n) + the mini-batch kernel
-        // block (m·n) must fit within S_G, at the slot width of the chosen
-        // precision (f64 elements cost two f32-reference slots).
-        let n = features.rows();
+        // Enforce the Step-1 memory accounting on the device ledger, at the
+        // slot width of the chosen precision (f64 elements cost two
+        // f32-reference slots). In-core: the resident features (d·n) +
+        // weights (l·n) + the mini-batch kernel block (m·n). Streamed: the
+        // weights (l·n) + batch feature block (d·m) held here, plus the tile
+        // ring charged by the engine below. The guard is held for the whole
+        // training run (dropped explicitly after the last epoch), so the
+        // reservation provably spans every transient the loop charges.
         let ledger = ep2_device::MemoryLedger::new(self.device.memory_floats);
-        let resident_slots =
-            ((features.cols() + n_outputs + m) * n) as f64 * cfg.precision.slot_factor();
-        let _residency = ledger
-            .alloc(resident_slots)
-            .map_err(|e| CoreError::DeviceMemory {
-                message: e.to_string(),
-            })?;
-        let model = KernelModel::zeros(kernel, features_s.into_owned(), n_outputs);
+        let centers: Arc<Matrix<S>> = Arc::new(features_s.into_owned());
+        let mut executor = match &stream_plan {
+            None => {
+                let resident_slots = ((d + n_outputs + m) * n) as f64 * cfg.precision.slot_factor();
+                let guard = ledger
+                    .alloc(resident_slots)
+                    .map_err(|e| CoreError::DeviceMemory {
+                        message: e.to_string(),
+                    })?;
+                Executor::InCore { _residency: guard }
+            }
+            Some(splan) => {
+                let bplan = BlockPlan::from_streamed(n, d, n_outputs, splan, cfg.precision);
+                let guard =
+                    ledger
+                        .alloc(bplan.static_slots())
+                        .map_err(|e| CoreError::DeviceMemory {
+                            message: e.to_string(),
+                        })?;
+                let engine =
+                    StreamEngine::new(Arc::clone(&kernel), Arc::clone(&centers), bplan, &ledger)
+                        .map_err(|e| CoreError::DeviceMemory {
+                            message: e.to_string(),
+                        })?;
+                Executor::Streamed {
+                    engine: Box::new(engine),
+                    shape: ep2_device::cost::ProblemShape {
+                        n,
+                        m,
+                        d,
+                        l: n_outputs,
+                        s: params.s,
+                        q: params.adjusted_q,
+                    },
+                    _residency: guard,
+                }
+            }
+        };
+        let model = KernelModel::zeros_shared(kernel, centers, n_outputs);
         let mut iter = EigenProIteration::new(model, precond, eta);
         let mut clock = SimClock::new(self.device.clone(), cfg.device_mode);
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E3779B9));
@@ -365,17 +520,21 @@ impl EigenPro2 {
         let mut prev_mse = f64::INFINITY;
         let mut eta_backoffs = 0_u32;
 
+        // Streamed runs evaluate epoch metrics through the column-tiled
+        // prediction path so the transient kernel panel stays within one
+        // ring slot (`m x n_tile`) — the in-core `block x n` panel would
+        // break the very budget streaming exists to respect.
+        let eval_tile = stream_plan.as_ref().map(|sp| (m.max(1), sp.n_tile));
+
         'outer: for epoch in 1..=cfg.epochs {
             indices.shuffle(&mut rng);
-            for chunk in indices.chunks(m) {
-                let ops = iter.step(chunk, &targets_s);
-                clock.record_launch(ops);
-            }
+            executor.run_epoch(&mut iter, &targets_s, &indices, m, &mut clock);
             let stats = epoch_stats(
                 epoch,
                 &iter,
                 targets,
                 val_s.as_ref().map(|(f, v)| (f.as_ref(), *v)),
+                eval_tile,
                 &clock,
                 start,
             );
@@ -423,6 +582,14 @@ impl EigenPro2 {
             }
         }
 
+        // Training over: release the ring and the residency reservation,
+        // then audit the ledger — the whole run, tiles included, must have
+        // stayed within `S_G`.
+        drop(executor);
+        let peak_slots = ledger.peak_slots();
+        let budget_slots = ledger.budget();
+        debug_assert!(peak_slots <= budget_slots, "ledger over-ran S_G");
+
         let last = *epochs_out.last().expect("at least one epoch ran");
         let report = TrainReport {
             params,
@@ -436,11 +603,76 @@ impl EigenPro2 {
             stop_reason,
             eta_backoffs,
             precision: cfg.precision,
+            residency,
+            peak_slots,
+            budget_slots,
         };
         Ok(TrainOutcome {
             model: into_f64_model(iter.into_model()),
             report,
         })
+    }
+}
+
+/// The per-epoch execution strategy, carrying the residency reservation it
+/// runs under (the RAII guard lives exactly as long as training does).
+enum Executor<S: Scalar> {
+    /// The paper's path: one in-core `step` per mini-batch.
+    InCore {
+        _residency: ep2_device::memory::Allocation,
+    },
+    /// Out-of-core: the streaming engine produces kernel-block tiles into
+    /// its ledger-charged ring while `step_streamed` consumes them. The
+    /// engine is boxed so the enum's variants stay size-balanced (one
+    /// executor exists per training run — the indirection is free).
+    Streamed {
+        engine: Box<StreamEngine<S>>,
+        /// Table-1 shape of one iteration, for the streamed cost model
+        /// (`m` is rewritten per mini-batch — the last one may be short).
+        shape: ep2_device::cost::ProblemShape,
+        _residency: ep2_device::memory::Allocation,
+    },
+}
+
+impl<S: Scalar> Executor<S> {
+    /// Runs one epoch over the shuffled `indices` in mini-batches of `m`,
+    /// recording every iteration's operation count on the simulated clock.
+    fn run_epoch(
+        &mut self,
+        iter: &mut EigenProIteration<S>,
+        targets: &Matrix<S>,
+        indices: &[usize],
+        m: usize,
+        clock: &mut SimClock,
+    ) {
+        match self {
+            Executor::InCore { .. } => {
+                for chunk in indices.chunks(m) {
+                    let ops = iter.step(chunk, targets);
+                    clock.record_launch(ops);
+                }
+            }
+            Executor::Streamed { engine, shape, .. } => {
+                let n_tile = engine.plan().n_tile;
+                let batches: Vec<&[usize]> = indices.chunks(m).collect();
+                engine.run_epoch(&batches, |bi, tiles| {
+                    iter.step_streamed(batches[bi], targets, tiles);
+                    // The simulated clock prices the *exposed* critical path
+                    // of the overlapped pipeline (assembly of tile t+1 runs
+                    // under the update of tile t) — the same
+                    // `cost::streamed_eigenpro` model the fig3b harness
+                    // plans with, so `ep2 train --out-of-core` and the
+                    // fig3b tables agree on what a streamed iteration
+                    // costs. The FlopCounter keeps counting the full work.
+                    let shape = ep2_device::cost::ProblemShape {
+                        m: batches[bi].len(),
+                        ..*shape
+                    };
+                    let exposed = ep2_device::cost::streamed_eigenpro(&shape, n_tile).exposed_ops;
+                    clock.record_launch(exposed);
+                });
+            }
+        }
     }
 }
 
@@ -471,13 +703,20 @@ fn epoch_stats<S: Scalar>(
     iter: &EigenProIteration<S>,
     targets: &Matrix,
     val: Option<(&Matrix<S>, &ValMetric)>,
+    eval_tile: Option<(usize, usize)>,
     clock: &SimClock,
     start: Instant,
 ) -> EpochStats {
-    let train_pred = iter.model().predict(iter.model().centers());
+    // `eval_tile = (block_rows, col_tile)` routes evaluation through the
+    // column-tiled prediction so streamed runs honour their memory budget.
+    let predict = |x: &Matrix<S>| match eval_tile {
+        Some((rows, cols)) => iter.model().predict_tiled(x, rows, cols),
+        None => iter.model().predict(x),
+    };
+    let train_pred = predict(iter.model().centers());
     let train_mse = metrics::mse(&train_pred, targets);
     let val_error = val.map(|(features_s, metric)| {
-        let pred = iter.model().predict(features_s);
+        let pred = predict(features_s);
         match metric {
             ValMetric::Classification { labels, .. } => {
                 metrics::classification_error(&pred, labels)
@@ -803,6 +1042,119 @@ mod tests {
         );
         let f32_run = EigenPro2::new(config(Precision::F32), spec).fit(&train, None);
         assert!(f32_run.is_ok(), "f32 residency fits: {f32_run:?}");
+    }
+
+    #[test]
+    fn auto_streams_when_dataset_exceeds_device_memory() {
+        // (d + l + 1)·n·2 = 21·400·2 = 16.8k slots ≫ S_G = 4k: the in-core
+        // plan has no solution, so the trainer must pick Streamed on its
+        // own and still train end to end within the ledger.
+        let data = catalog::susy_like(400, 3);
+        let (train, _) = data.split_at(400);
+        let spec = ResourceSpec::new("starved", 2e8, 4_000.0, 1e12, 0.0);
+        let config = TrainConfig {
+            kernel: KernelKind::Gaussian,
+            bandwidth: 4.0,
+            epochs: 2,
+            subsample_size: Some(60),
+            early_stopping: None,
+            ..TrainConfig::default()
+        };
+        let out = EigenPro2::new(config, spec.clone())
+            .fit(&train, None)
+            .unwrap();
+        assert_eq!(out.report.residency, ResidencyMode::Streamed);
+        assert!(
+            out.report.peak_slots <= out.report.budget_slots,
+            "peak {} > S_G {}",
+            out.report.peak_slots,
+            out.report.budget_slots
+        );
+        assert_eq!(out.report.budget_slots, spec.memory_floats);
+        assert!(out.report.final_train_mse.is_finite());
+        // The in-core memory batch is reported as the "does not fit" 0.
+        assert_eq!(out.report.params.memory_batch, 0);
+    }
+
+    #[test]
+    fn forced_streamed_matches_in_core_closely() {
+        let data = catalog::mnist_like(300, 5);
+        let (train, _) = data.split_at(300);
+        let run = |residency, stream_tile| {
+            let cfg = TrainConfig {
+                epochs: 3,
+                batch_size: Some(32),
+                residency,
+                stream_tile,
+                ..quick_config()
+            };
+            EigenPro2::new(cfg, ResourceSpec::scaled_virtual_gpu())
+                .fit(&train, None)
+                .unwrap()
+        };
+        let incore = run(None, None);
+        // Tile width straddling nothing in particular — just ≪ n, so the
+        // ring + batch-block residency stays below the in-core footprint.
+        let streamed = run(Some(ResidencyMode::Streamed), Some(64));
+        assert_eq!(incore.report.residency, ResidencyMode::InCore);
+        assert_eq!(streamed.report.residency, ResidencyMode::Streamed);
+        // Same analytic plan, same batch schedule; the only numeric
+        // difference is the column order of the prediction accumulation.
+        assert_eq!(incore.report.params.m, streamed.report.params.m);
+        assert!(
+            (incore.report.final_train_mse - streamed.report.final_train_mse).abs() < 1e-8,
+            "in-core {} vs streamed {}",
+            incore.report.final_train_mse,
+            streamed.report.final_train_mse
+        );
+        // Streaming holds strictly less resident memory.
+        assert!(streamed.report.peak_slots < incore.report.peak_slots);
+    }
+
+    #[test]
+    fn forced_in_core_on_oversized_dataset_errors_cleanly() {
+        let data = catalog::susy_like(400, 3);
+        let (train, _) = data.split_at(400);
+        let spec = ResourceSpec::new("starved", 2e8, 4_000.0, 1e12, 0.0);
+        let config = TrainConfig {
+            residency: Some(ResidencyMode::InCore),
+            ..quick_config()
+        };
+        match EigenPro2::new(config, spec).fit(&train, None) {
+            Err(CoreError::DeviceMemory { message }) => {
+                assert!(message.contains("out-of-core"), "message: {message}");
+            }
+            other => panic!("expected DeviceMemory error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_tile_override_respected_and_checked() {
+        let data = catalog::susy_like(300, 9);
+        let (train, _) = data.split_at(300);
+        let ok = TrainConfig {
+            epochs: 1,
+            residency: Some(ResidencyMode::Streamed),
+            stream_tile: Some(50),
+            ..quick_config()
+        };
+        let out = EigenPro2::new(ok, ResourceSpec::scaled_virtual_gpu())
+            .fit(&train, None)
+            .unwrap();
+        assert_eq!(out.report.residency, ResidencyMode::Streamed);
+        // A tile too wide for a tiny budget is rejected up front.
+        let spec = ResourceSpec::new("starved", 2e8, 4_000.0, 1e12, 0.0);
+        let bad = TrainConfig {
+            residency: Some(ResidencyMode::Streamed),
+            stream_tile: Some(300),
+            ..quick_config()
+        };
+        match EigenPro2::new(bad, spec).fit(&train, None) {
+            Err(CoreError::DeviceMemory { message }) => {
+                assert!(message.contains("stream_tile"), "message: {message}");
+            }
+            other => panic!("expected DeviceMemory error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -6,9 +6,51 @@
 //! - `m^C_G`: the batch fully utilising parallelism, `(d + l) · m^C_G · n ≈ C_G`;
 //! - `m^S_G`: the batch hitting the memory ceiling, `(d + l + m^S_G) · n ≈ S_G`;
 //! - `m^max_G = min(m^C_G, m^S_G)`.
+//!
+//! # Out-of-core (streamed) Step 1
+//!
+//! When even `m = 1` over-budgets — `(d + l + 1) · n > S_G`, i.e. the
+//! features themselves do not fit — the in-core bound has no solution and
+//! the paper's workflow rejects the problem. [`max_batch_streamed`] instead
+//! plans a *streamed* residency ([`ResidencyMode::Streamed`]): only the
+//! weights (`l·n`), the mini-batch feature block (`d·m`), and a bounded ring
+//! of `tiles_in_flight` kernel-block tiles — each an `m x n_tile` kernel
+//! panel plus its `d x n_tile` staged feature slice — are resident at once:
+//!
+//! ```text
+//! tiles_in_flight · (m + d) · n_tile  +  l·n  +  d·m  ≤  S_G / slot_factor
+//! ```
+//!
+//! `m` and `n_tile` are chosen jointly: start from the capacity batch and
+//! halve `m` until a tile of useful width fits the ring budget.
 
-use crate::{Precision, ResourceSpec};
+use crate::{MemoryError, Precision, ResourceSpec};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Where the training set's kernel blocks live during training.
+///
+/// `InCore` is the paper's Step-1 residency: features, weights, and the
+/// mini-batch kernel block all resident, `(d + l + m) · n ≤ S_G`.
+/// `Streamed` is the out-of-core extension: kernel blocks are produced
+/// tile-by-tile into a bounded ring and consumed by the training iteration,
+/// so `n` beyond the ledger becomes trainable at streaming speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResidencyMode {
+    /// Everything resident (the paper's Step-1 accounting).
+    InCore,
+    /// Kernel blocks streamed through a bounded double-buffered tile ring.
+    Streamed,
+}
+
+impl fmt::Display for ResidencyMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ResidencyMode::InCore => "in-core",
+            ResidencyMode::Streamed => "streamed",
+        })
+    }
+}
 
 /// The outcome of the Step-1 calculation, including both intermediate batch
 /// sizes (exposed per C-INTERMEDIATE so harnesses can report them).
@@ -120,6 +162,146 @@ pub fn max_batch_with(
     }
 }
 
+/// Whether the in-core Step-1 bound has any solution: `m^S_G ≥ 1`, i.e.
+/// features + weights + one kernel-block row fit the device. When this is
+/// false, the only way to train is [`ResidencyMode::Streamed`].
+pub fn fits_in_core(spec: &ResourceSpec, n: usize, d: usize, l: usize, p: Precision) -> bool {
+    batch_for_memory_with(spec, n, d, l, p) >= 1
+}
+
+/// Narrowest kernel-block tile worth streaming: below this width the
+/// per-tile fixed costs (feature-slice staging, channel hand-off, GEMM edge
+/// panels) dominate the `m · n_tile · d` assembly work. Tiles are still
+/// allowed to be narrower when the *dataset* is (`n_tile ≤ n` always), and
+/// the joint `m`/`n_tile` shrink accepts any positive width once `m` has
+/// bottomed out at 1.
+pub const MIN_STREAM_TILE: usize = 64;
+
+/// Default number of ring slots: double buffering (assembly of tile `t+1`
+/// overlaps consumption of tile `t`).
+pub const DEFAULT_TILES_IN_FLIGHT: usize = 2;
+
+/// Elements resident during a streamed epoch (before the precision's
+/// slot-factor): the tile ring (`tiles_in_flight` slots of an `m x n_tile`
+/// kernel panel plus its `d x n_tile` staged feature slice), the weights
+/// `l·n`, and the mini-batch feature block `d·m`.
+pub fn streamed_slots(
+    n: usize,
+    d: usize,
+    l: usize,
+    m: usize,
+    n_tile: usize,
+    tiles_in_flight: usize,
+) -> f64 {
+    (tiles_in_flight * (m + d) * n_tile) as f64 + (l * n) as f64 + (d * m) as f64
+}
+
+/// The outcome of the streamed Step-1 calculation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamedBatchPlan {
+    /// Mini-batch size `m` (capacity batch, possibly shrunk to fit the ring).
+    pub m: usize,
+    /// Kernel-block tile width (columns of the `m x n` block per tile).
+    pub n_tile: usize,
+    /// Ring slots charged against the ledger.
+    pub tiles_in_flight: usize,
+    /// `m^C_G` for reference (the unshrunk starting point).
+    pub capacity_batch: usize,
+    /// `true` when `m` had to shrink below `m^C_G` so a useful tile fits.
+    pub memory_bound: bool,
+    /// Peak elements resident under this plan (pre-slot-factor); multiply by
+    /// the precision's slot factor for ledger slots.
+    pub resident_elements: f64,
+}
+
+impl StreamedBatchPlan {
+    /// Ledger slots this plan charges under `precision`.
+    pub fn resident_slots(&self, precision: Precision) -> f64 {
+        self.resident_elements * precision.slot_factor()
+    }
+}
+
+/// Streamed Step 1: choose `m` and `n_tile` jointly so that
+/// [`streamed_slots`] fits the device at `precision`.
+///
+/// Starts from `m = m^C_G` (or `m_override`, which is respected exactly)
+/// and halves `m` until the leftover budget affords a tile of at least
+/// [`MIN_STREAM_TILE`] columns (`m = 1` accepts any positive width). This is
+/// the joint shrink: a smaller batch both narrows the ring slots (`m·n_tile`
+/// each) and frees `d·m` batch-block slots, letting `n_tile` grow back.
+///
+/// # Errors
+///
+/// Returns [`MemoryError`] when no `(m, n_tile)` fits — the weights `l·n`
+/// plus one minimal tile exceed the budget (streaming cannot shrink `l·n`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `d + l == 0`, or `tiles_in_flight < 2`.
+pub fn max_batch_streamed(
+    spec: &ResourceSpec,
+    n: usize,
+    d: usize,
+    l: usize,
+    precision: Precision,
+    tiles_in_flight: usize,
+    m_override: Option<usize>,
+) -> Result<StreamedBatchPlan, MemoryError> {
+    assert!(n > 0, "max_batch_streamed: n must be positive");
+    assert!(d + l > 0, "max_batch_streamed: d + l must be positive");
+    assert!(
+        tiles_in_flight >= 2,
+        "streaming needs at least double buffering (tiles_in_flight >= 2)"
+    );
+    let budget = spec.memory_slots(precision);
+    let capacity_batch = batch_for_capacity(spec, n, d, l);
+    // Widest tile the leftover budget affords at batch size m (0 = none).
+    let tile_for = |m: usize| -> usize {
+        let free = budget - ((l * n) as f64 + (d * m) as f64);
+        let per_col = (tiles_in_flight * (m + d)) as f64;
+        if free < per_col {
+            0
+        } else {
+            ((free / per_col).floor() as usize).min(n)
+        }
+    };
+    let plan = |m: usize, n_tile: usize, memory_bound: bool| StreamedBatchPlan {
+        m,
+        n_tile,
+        tiles_in_flight,
+        capacity_batch,
+        memory_bound,
+        resident_elements: streamed_slots(n, d, l, m, n_tile, tiles_in_flight),
+    };
+    if let Some(m) = m_override {
+        let m = m.clamp(1, n);
+        let n_tile = tile_for(m);
+        if n_tile == 0 {
+            return Err(MemoryError::for_plan(
+                streamed_slots(n, d, l, m, 1, tiles_in_flight) * precision.slot_factor(),
+                spec.memory_floats,
+            ));
+        }
+        return Ok(plan(m, n_tile, false));
+    }
+    let mut m = capacity_batch.clamp(1, n);
+    let mut shrunk = false;
+    loop {
+        let n_tile = tile_for(m);
+        if n_tile >= MIN_STREAM_TILE.min(n) || (m == 1 && n_tile >= 1) {
+            return Ok(plan(m, n_tile, shrunk));
+        }
+        if m == 1 {
+            return Err(MemoryError::for_plan(
+                streamed_slots(n, d, l, 1, 1, tiles_in_flight) * precision.slot_factor(),
+                spec.memory_floats,
+            ));
+        }
+        m /= 2;
+        shrunk = true;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +378,74 @@ mod tests {
         // Mixed plans memory like f32.
         let mixed = max_batch_with(&spec, n, d, l, Precision::Mixed);
         assert_eq!(mixed.memory_batch, m32.memory_batch);
+    }
+
+    #[test]
+    fn streamed_plan_fits_where_in_core_cannot() {
+        // Features alone over-budget: (d + l + 1)·n = 511·10_000 > 1e6.
+        let spec = ResourceSpec::new("tiny-mem", 1e12, 1e6, 1e12, 0.0);
+        let (n, d, l) = (10_000, 500, 10);
+        assert!(!fits_in_core(&spec, n, d, l, Precision::F32));
+        let plan = max_batch_streamed(&spec, n, d, l, Precision::F32, 2, None).unwrap();
+        assert!(plan.n_tile >= MIN_STREAM_TILE);
+        assert!(plan.m >= 1);
+        assert!(plan.resident_slots(Precision::F32) <= spec.memory_floats);
+        // The formula the plan reports is the formula we documented.
+        assert_eq!(
+            plan.resident_elements,
+            streamed_slots(n, d, l, plan.m, plan.n_tile, 2)
+        );
+    }
+
+    #[test]
+    fn streamed_plan_shrinks_m_jointly_with_tile() {
+        // Budget so tight that the capacity batch leaves no room for a
+        // MIN_STREAM_TILE-wide ring: m must shrink below m^C_G.
+        let (n, d, l) = (50_000, 200, 10);
+        let spec = ResourceSpec::new("strangled", 1e12, 5.5e5, 1e12, 0.0);
+        let cap = batch_for_capacity(&spec, n, d, l);
+        let plan = max_batch_streamed(&spec, n, d, l, Precision::F32, 2, None).unwrap();
+        assert!(plan.memory_bound, "m must have shrunk");
+        assert!(plan.m < cap);
+        assert!(plan.n_tile >= 1);
+        assert!(plan.resident_slots(Precision::F32) <= spec.memory_floats);
+    }
+
+    #[test]
+    fn streamed_plan_respects_precision_slot_width() {
+        let spec = ResourceSpec::new("tiny-mem", 1e12, 1e6, 1e12, 0.0);
+        let (n, d, l) = (10_000, 500, 10);
+        let p32 = max_batch_streamed(&spec, n, d, l, Precision::F32, 2, None).unwrap();
+        let p64 = max_batch_streamed(&spec, n, d, l, Precision::F64, 2, None).unwrap();
+        // Half the element budget under f64 → strictly narrower tiles
+        // (or a smaller batch).
+        assert!(p64.n_tile < p32.n_tile || p64.m < p32.m);
+        assert!(p64.resident_slots(Precision::F64) <= spec.memory_floats);
+    }
+
+    #[test]
+    fn streamed_plan_rejects_unshrinkable_weights() {
+        // l·n alone exceeds the budget: no streaming plan exists.
+        let spec = ResourceSpec::new("hopeless", 1e12, 1e4, 1e12, 0.0);
+        let err = max_batch_streamed(&spec, 10_000, 5, 10, Precision::F32, 2, None).unwrap_err();
+        assert!(err.requested > err.budget);
+        assert_eq!(err.peak, 0.0);
+    }
+
+    #[test]
+    fn streamed_m_override_respected_or_rejected() {
+        let spec = ResourceSpec::new("tiny-mem", 1e12, 1e6, 1e12, 0.0);
+        let (n, d, l) = (10_000, 500, 10);
+        let plan = max_batch_streamed(&spec, n, d, l, Precision::F32, 2, Some(32)).unwrap();
+        assert_eq!(plan.m, 32);
+        // An absurd override cannot be shrunk away — it must error.
+        assert!(max_batch_streamed(&spec, n, d, l, Precision::F32, 2, Some(n)).is_err());
+    }
+
+    #[test]
+    fn residency_mode_display() {
+        assert_eq!(ResidencyMode::InCore.to_string(), "in-core");
+        assert_eq!(ResidencyMode::Streamed.to_string(), "streamed");
     }
 
     #[test]

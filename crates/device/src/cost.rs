@@ -85,6 +85,75 @@ pub fn original_eigenpro(shape: &ProblemShape) -> IterationCost {
     }
 }
 
+/// Cost of one *streamed* (out-of-core) improved-EigenPro iteration: the
+/// `m x n` kernel block is produced as `⌈n / n_tile⌉` tiles into a bounded
+/// ring while the consumer applies the preconditioned update, so assembly
+/// of tile `t+1` overlaps compute on tile `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamedCost {
+    /// Producer-side work: kernel-block assembly, `m·n·d` ops.
+    pub assembly_ops: f64,
+    /// Consumer-side work: prediction accumulate + weight update +
+    /// preconditioner correction, `m·n·l + s·m·q` ops.
+    pub update_ops: f64,
+    /// Critical-path operations once the two sides overlap:
+    /// `max(assembly, update)` plus the non-overlapped pipeline fill/drain
+    /// of one tile from the cheaper side.
+    pub exposed_ops: f64,
+    /// Resident memory in element slots (`batch::streamed_slots`).
+    pub memory_slots: f64,
+}
+
+impl StreamedCost {
+    /// Overlap factor: serial (in-core single-stream) operations divided by
+    /// the exposed critical path — the speedup pipelining buys over running
+    /// assembly and update back to back. 1.0 = no overlap benefit (one side
+    /// fully dominates and the fill cost eats the rest); the ceiling is 2.0
+    /// (perfectly balanced producer and consumer).
+    pub fn overlap_factor(&self) -> f64 {
+        (self.assembly_ops + self.update_ops) / self.exposed_ops
+    }
+}
+
+/// Streamed-iteration cost model for an `n_tile`-column tiling.
+///
+/// The producer's per-tile work is `m·n_tile·d`, the consumer's
+/// `m·n_tile·l` (plus the once-per-iteration correction `s·m·q`, attributed
+/// to the consumer). With double buffering the critical path is the slower
+/// side end to end, plus one tile of the faster side exposed at the pipeline
+/// boundary (fill/drain).
+///
+/// # Panics
+///
+/// Panics if `n_tile == 0`.
+pub fn streamed_eigenpro(shape: &ProblemShape, n_tile: usize) -> StreamedCost {
+    assert!(n_tile > 0, "n_tile must be positive");
+    let (n, m, d, l) = (
+        shape.n as f64,
+        shape.m as f64,
+        shape.d as f64,
+        shape.l as f64,
+    );
+    let (s, q) = (shape.s as f64, shape.q as f64);
+    let tiles = (shape.n.div_ceil(n_tile)) as f64;
+    let assembly_ops = m * n * d;
+    let update_ops = m * n * l + s * m * q;
+    let fill = assembly_ops.min(update_ops) / tiles;
+    StreamedCost {
+        assembly_ops,
+        update_ops,
+        exposed_ops: assembly_ops.max(update_ops) + fill,
+        memory_slots: crate::batch::streamed_slots(
+            shape.n,
+            shape.d,
+            shape.l,
+            shape.m,
+            n_tile,
+            crate::batch::DEFAULT_TILES_IN_FLIGHT,
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +219,45 @@ mod tests {
         let orig = original_eigenpro(&shape);
         assert!(imp.compute_ops < orig.compute_ops);
         assert!(imp.memory_slots < orig.memory_slots);
+    }
+
+    #[test]
+    fn streamed_cost_overlap_bounds() {
+        let shape = ProblemShape {
+            n: 100_000,
+            m: 500,
+            d: 400,
+            l: 10,
+            s: 5_000,
+            q: 80,
+        };
+        let c = streamed_eigenpro(&shape, 1024);
+        // Exposed path is never shorter than the dominant side, never longer
+        // than running both sides serially.
+        assert!(c.exposed_ops >= c.assembly_ops.max(c.update_ops));
+        assert!(c.exposed_ops <= c.assembly_ops + c.update_ops);
+        let f = c.overlap_factor();
+        assert!((1.0..=2.0).contains(&f), "overlap factor {f}");
+        // d ≫ l here: assembly dominates, overlap hides almost all of the
+        // (cheap) update, so the exposed path is close to assembly alone.
+        assert!(c.exposed_ops < c.assembly_ops * 1.05);
+        // Streamed residency is far below the in-core m·n kernel block.
+        assert!(c.memory_slots < improved_eigenpro(&shape).memory_slots);
+    }
+
+    #[test]
+    fn streamed_cost_balanced_sides_overlap_best() {
+        // d == l: producer and consumer match, overlap factor → ~2.
+        let shape = ProblemShape {
+            n: 100_000,
+            m: 256,
+            d: 64,
+            l: 64,
+            s: 0,
+            q: 0,
+        };
+        let c = streamed_eigenpro(&shape, 1000);
+        assert!(c.overlap_factor() > 1.9, "factor {}", c.overlap_factor());
     }
 
     #[test]

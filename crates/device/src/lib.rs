@@ -46,6 +46,7 @@ mod precision;
 mod spec;
 pub mod timing;
 
+pub use batch::{ResidencyMode, StreamedBatchPlan};
 pub use cluster::ClusterSpec;
 pub use memory::{MemoryError, MemoryLedger};
 pub use precision::Precision;

@@ -21,14 +21,32 @@ pub struct MemoryError {
     pub available: f64,
     /// Total budget `S_G`.
     pub budget: f64,
+    /// High-water mark of charged slots at the time of the request — lets
+    /// the message distinguish "this run was always close to the line" from
+    /// "one oversized allocation" at a glance.
+    pub peak: f64,
+}
+
+impl MemoryError {
+    /// Builds an error for a *planning* failure (no ledger involved yet):
+    /// `requested` slots against a fresh budget, peak 0.
+    pub fn for_plan(requested: f64, budget: f64) -> Self {
+        MemoryError {
+            requested,
+            available: budget,
+            budget,
+            peak: 0.0,
+        }
+    }
 }
 
 impl fmt::Display for MemoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "device memory exhausted: requested {:.3e} slots, {:.3e} available of {:.3e}",
-            self.requested, self.available, self.budget
+            "device memory exhausted: requested {:.3e} slots, {:.3e} available of {:.3e} \
+             (peak so far {:.3e})",
+            self.requested, self.available, self.budget, self.peak
         )
     }
 }
@@ -99,6 +117,7 @@ impl MemoryLedger {
                 requested: slots,
                 available: st.budget - st.in_use,
                 budget: st.budget,
+                peak: st.peak,
             });
         }
         st.in_use += slots;
@@ -117,6 +136,14 @@ impl MemoryLedger {
     /// High-water mark of charged slots.
     pub fn peak(&self) -> f64 {
         self.state.lock().peak
+    }
+
+    /// High-water mark of charged slots — the same quantity as
+    /// [`MemoryLedger::peak`], named for the `S_G` audit that out-of-core
+    /// (streamed) runs perform: after training, `peak_slots() <= budget()`
+    /// proves the run never exceeded the device memory it claimed to fit.
+    pub fn peak_slots(&self) -> f64 {
+        self.peak()
     }
 
     /// Total budget `S_G`.
@@ -181,7 +208,21 @@ mod tests {
         assert_eq!(err.requested, 30.0);
         assert_eq!(err.available, 20.0);
         assert_eq!(err.budget, 50.0);
+        assert_eq!(err.peak, 30.0);
         assert!(err.to_string().contains("exhausted"));
+        assert!(err.to_string().contains("peak"));
+    }
+
+    #[test]
+    fn peak_slots_tracks_high_water_mark() {
+        let ledger = MemoryLedger::new(100.0);
+        {
+            let _a = ledger.alloc(70.0).unwrap();
+        }
+        let _b = ledger.alloc(10.0).unwrap();
+        assert_eq!(ledger.peak_slots(), 70.0);
+        assert_eq!(ledger.peak_slots(), ledger.peak());
+        assert!(ledger.peak_slots() <= ledger.budget());
     }
 
     #[test]

@@ -43,16 +43,48 @@ fn kernel_cross_with_norms<S: Scalar>(
     b_sq: &[S],
 ) -> Matrix<S> {
     let (n, m) = (a.rows(), b.rows());
+    let mut k = Matrix::zeros(n, m);
     if n == 0 || m == 0 {
-        return Matrix::zeros(n, m);
+        return k;
+    }
+    kernel_cross_into(kernel, a, b, a_sq, b_sq, &mut k);
+    k
+}
+
+/// Tile-wise assembly entry point: computes `out[i][j] = k(a_i, b_j)` into
+/// the preallocated `out`, with both sides' squared row norms supplied by
+/// the caller.
+///
+/// This is the out-of-core streaming producer's hot path: the center-side
+/// norms `b_sq` are computed once per training run and sliced per tile, and
+/// `out` is a recycled ring buffer, so steady-state tile assembly allocates
+/// nothing beyond the packed-GEMM arenas.
+///
+/// # Panics
+///
+/// Panics if the feature dimensions differ, `out` is not
+/// `a.rows() x b.rows()`, or a norm slice is shorter than its side.
+pub fn kernel_cross_into<S: Scalar>(
+    kernel: &dyn Kernel<S>,
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    a_sq: &[S],
+    b_sq: &[S],
+    out: &mut Matrix<S>,
+) {
+    assert_eq!(a.cols(), b.cols(), "kernel_cross_into: feature dims differ");
+    let (n, m) = (a.rows(), b.rows());
+    assert_eq!(out.shape(), (n, m), "kernel_cross_into: bad output shape");
+    assert!(a_sq.len() >= n && b_sq.len() >= m, "norm slice too short");
+    if n == 0 || m == 0 {
+        return;
     }
     // -2 A B^T: the packed register-blocked `gemm_nt` (B^T is a stride swap
     // at packing time) — the dominant cost of assembly.
-    let mut k = Matrix::zeros(n, m);
-    blas::gemm_nt(S::from_f64(-2.0), a, b, S::ZERO, &mut k);
+    blas::gemm_nt(S::from_f64(-2.0), a, b, S::ZERO, out);
     // Element-wise radial profile, parallel over row chunks.
     let cols = m;
-    parallel::for_each_chunk_mut(k.as_mut_slice(), cols.max(1) * 64, |off, chunk| {
+    parallel::for_each_chunk_mut(out.as_mut_slice(), cols.max(1) * 64, |off, chunk| {
         for (local, v) in chunk.iter_mut().enumerate() {
             let idx = off + local;
             let (i, j) = (idx / cols, idx % cols);
@@ -60,7 +92,6 @@ fn kernel_cross_with_norms<S: Scalar>(
             *v = kernel.of_sq_dist(d2);
         }
     });
-    k
 }
 
 /// Assembles the symmetric kernel matrix `K[i][j] = k(x_i, x_j)`.
@@ -173,6 +204,39 @@ mod tests {
                     kc32[(i, j)],
                     kc64[(i, j)]
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_assembly_matches_full_cross() {
+        // Column tiles assembled into recycled buffers via
+        // `kernel_cross_into` (the streaming producer's path) reproduce the
+        // one-shot cross matrix exactly: same GEMM, same norms.
+        let k = GaussianKernel::new(1.8);
+        let a = points(9, 6, 21);
+        let b = points(50, 6, 22);
+        let full = kernel_cross(&k, &a, &b);
+        let a_sq = row_sq_norms(&a);
+        let b_sq = row_sq_norms(&b);
+        for n_tile in [1usize, 7, 16, 17, 50, 64] {
+            let mut j0 = 0;
+            while j0 < b.rows() {
+                let len = n_tile.min(b.rows() - j0);
+                let b_tile = b.submatrix(j0, 0, len, b.cols());
+                let mut out = Matrix::zeros(a.rows(), len);
+                kernel_cross_into(&k, &a, &b_tile, &a_sq, &b_sq[j0..j0 + len], &mut out);
+                for i in 0..a.rows() {
+                    for j in 0..len {
+                        assert_eq!(
+                            out[(i, j)],
+                            full[(i, j0 + j)],
+                            "tile width {n_tile}, entry ({i},{})",
+                            j0 + j
+                        );
+                    }
+                }
+                j0 += len;
             }
         }
     }

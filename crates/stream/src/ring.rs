@@ -1,0 +1,174 @@
+//! The bounded ring of ledger-charged tile buffers, and the RAII guard the
+//! consumer holds while it works on one tile.
+
+use std::ops::Range;
+use std::sync::mpsc::SyncSender;
+
+use crate::plan::BlockPlan;
+use ep2_device::memory::Allocation;
+use ep2_device::{MemoryError, MemoryLedger};
+use ep2_linalg::{Matrix, Scalar};
+
+/// The fixed set of recycled tile buffers backing one [`StreamEngine`]
+/// (see [`crate::StreamEngine`]).
+///
+/// Each buffer is charged against the device ledger at construction —
+/// [`BlockPlan::slots_per_tile`] slots, covering the `m x n_tile` kernel
+/// panel and its `d x n_tile` staged feature slice — and stays charged for
+/// the ring's lifetime, so the ledger's peak reflects the pipeline's true
+/// residency. Buffers circulate: ring → producer (assembly) → consumer
+/// ([`TileGuard`]) → ring.
+#[derive(Debug)]
+pub struct TileRing<S: Scalar> {
+    buffers: Vec<Vec<S>>,
+    _charges: Vec<Allocation>,
+    capacity: usize,
+}
+
+impl<S: Scalar> TileRing<S> {
+    /// Allocates and ledger-charges `plan.tiles_in_flight` tile buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ledger's [`MemoryError`] when the ring does not fit the
+    /// remaining budget.
+    pub fn new(plan: &BlockPlan, ledger: &MemoryLedger) -> Result<Self, MemoryError> {
+        let mut buffers = Vec::with_capacity(plan.tiles_in_flight);
+        let mut charges = Vec::with_capacity(plan.tiles_in_flight);
+        for _ in 0..plan.tiles_in_flight {
+            charges.push(ledger.alloc(plan.slots_per_tile())?);
+            buffers.push(vec![S::ZERO; plan.m * plan.n_tile]);
+        }
+        Ok(TileRing {
+            capacity: buffers.len(),
+            buffers,
+            _charges: charges,
+        })
+    }
+
+    /// Number of ring slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Moves the buffers out for one epoch's circulation (they come back via
+    /// [`TileRing::restore`]).
+    pub(crate) fn take_buffers(&mut self) -> Vec<Vec<S>> {
+        std::mem::take(&mut self.buffers)
+    }
+
+    /// Returns circulated buffers to the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a buffer went missing (a leaked [`TileGuard`]).
+    pub(crate) fn restore(&mut self, buffers: Vec<Vec<S>>) {
+        assert_eq!(
+            buffers.len(),
+            self.capacity,
+            "tile buffer leaked out of the ring"
+        );
+        self.buffers = buffers;
+    }
+}
+
+/// One assembled kernel-block tile, held by the consumer.
+///
+/// Dereferencing accessors expose the `m_b x tile_cols` kernel panel
+/// (`m_b` = the current mini-batch's size) and the column range of the full
+/// `m x n` block it covers. Dropping the guard recycles the underlying
+/// buffer to the producers — the consumer applies backpressure simply by
+/// holding guards.
+#[derive(Debug)]
+pub struct TileGuard<S: Scalar> {
+    col0: usize,
+    block: Option<Matrix<S>>,
+    recycle: Option<SyncSender<Vec<S>>>,
+}
+
+impl<S: Scalar> TileGuard<S> {
+    pub(crate) fn new(col0: usize, block: Matrix<S>, recycle: SyncSender<Vec<S>>) -> Self {
+        TileGuard {
+            col0,
+            block: Some(block),
+            recycle: Some(recycle),
+        }
+    }
+
+    /// A guard with no ring behind it — the buffer is simply dropped on
+    /// release. Lets consumers (and their tests) run against hand-built
+    /// tiles without an engine.
+    pub fn detached(col0: usize, block: Matrix<S>) -> Self {
+        TileGuard {
+            col0,
+            block: Some(block),
+            recycle: None,
+        }
+    }
+
+    /// The kernel panel: `batch rows x tile columns`.
+    pub fn block(&self) -> &Matrix<S> {
+        self.block.as_ref().expect("tile present until drop")
+    }
+
+    /// Columns of the full `m x n` kernel block this tile covers.
+    pub fn col_range(&self) -> Range<usize> {
+        self.col0..self.col0 + self.block().cols()
+    }
+}
+
+impl<S: Scalar> Drop for TileGuard<S> {
+    fn drop(&mut self) {
+        if let (Some(block), Some(recycle)) = (self.block.take(), self.recycle.take()) {
+            // The engine may already have shut down (consumer dropped the
+            // stream early); the buffer is then simply freed.
+            let _ = recycle.send(block.into_vec());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ep2_device::Precision;
+
+    #[test]
+    fn ring_charges_and_releases_ledger_slots() {
+        let plan = BlockPlan::new(1000, 20, 3, 64, 96, 2, Precision::F64);
+        let ledger = MemoryLedger::new(plan.total_slots() + 10.0);
+        {
+            let ring = TileRing::<f64>::new(&plan, &ledger).unwrap();
+            assert_eq!(ring.capacity(), 2);
+            assert_eq!(ledger.in_use(), 2.0 * plan.slots_per_tile());
+        }
+        assert_eq!(ledger.in_use(), 0.0);
+        assert_eq!(ledger.peak_slots(), 2.0 * plan.slots_per_tile());
+    }
+
+    #[test]
+    fn ring_rejected_when_over_budget() {
+        let plan = BlockPlan::new(1000, 20, 3, 64, 96, 2, Precision::F64);
+        let ledger = MemoryLedger::new(plan.slots_per_tile() * 1.5);
+        let err = TileRing::<f64>::new(&plan, &ledger).unwrap_err();
+        assert!(err.requested > err.available);
+        // The partial charge was rolled back.
+        assert_eq!(ledger.in_use(), 0.0);
+    }
+
+    #[test]
+    fn guard_recycles_buffer_on_drop() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let guard = TileGuard::new(5, Matrix::<f64>::zeros(2, 3), tx);
+        assert_eq!(guard.col_range(), 5..8);
+        assert_eq!(guard.block().shape(), (2, 3));
+        drop(guard);
+        assert_eq!(rx.recv().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn detached_guard_just_drops() {
+        let guard = TileGuard::detached(0, Matrix::<f32>::zeros(4, 4));
+        assert_eq!(guard.col_range(), 0..4);
+        drop(guard);
+    }
+}

@@ -10,6 +10,8 @@
 //! - [`data`]: synthetic dataset substrate and preprocessing.
 //! - [`core`]: the paper's contribution — EigenPro 2.0 (adaptive kernel
 //!   construction, Algorithm 1, analytic parameter selection).
+//! - [`stream`]: the out-of-core streaming engine (bounded double-buffered
+//!   kernel-block tile pipeline) behind the trainer's `Streamed` residency.
 //! - [`baselines`]: plain kernel SGD, original EigenPro, FALKON, SMO SVM, and
 //!   the direct solver.
 //!
@@ -21,6 +23,7 @@ pub use ep2_data as data;
 pub use ep2_device as device;
 pub use ep2_kernels as kernels;
 pub use ep2_linalg as linalg;
+pub use ep2_stream as stream;
 
 // The two knobs of the precision-generic numeric stack, re-exported at the
 // top level: the `Scalar` trait the whole stack is generic over, and the

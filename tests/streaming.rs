@@ -1,0 +1,191 @@
+//! Out-of-core streaming: in-core vs streamed equivalence — property tests
+//! across `f32`/`f64`/`mixed` and tile widths straddling the GEMM
+//! microkernel edges — plus the headline acceptance scenario: a synthetic
+//! dataset whose f64 residency exceeds `S_G` by ≥ 4x trains end to end in
+//! `Streamed` mode (previously a `MemoryError`), with the ledger's peak
+//! audited against the budget.
+
+use eigenpro2::core::trainer::{EigenPro2, TrainConfig, TrainOutcome};
+use eigenpro2::core::CoreError;
+use eigenpro2::data::{catalog, Dataset};
+use eigenpro2::device::{Precision, ResidencyMode, ResourceSpec};
+use eigenpro2::kernels::KernelKind;
+use proptest::prelude::*;
+
+fn fit(
+    train: &Dataset,
+    precision: Precision,
+    residency: Option<ResidencyMode>,
+    stream_tile: Option<usize>,
+) -> TrainOutcome {
+    let config = TrainConfig {
+        kernel: KernelKind::Gaussian,
+        bandwidth: 4.0,
+        epochs: 2,
+        subsample_size: Some(60),
+        batch_size: Some(48),
+        early_stopping: None,
+        precision,
+        residency,
+        stream_tile,
+        ..TrainConfig::default()
+    };
+    EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu())
+        .fit(train, None)
+        .expect("training succeeds")
+}
+
+/// Max |streamed − in-core| over the final weights, and the in-core weight
+/// magnitude to scale the tolerance.
+fn weight_divergence(a: &TrainOutcome, b: &TrainOutcome) -> (f64, f64) {
+    let wa = a.model.weights().as_slice();
+    let wb = b.model.weights().as_slice();
+    assert_eq!(wa.len(), wb.len());
+    let mut diff = 0.0_f64;
+    let mut mag = 0.0_f64;
+    for (x, y) in wa.iter().zip(wb) {
+        diff = diff.max((x - y).abs());
+        mag = mag.max(x.abs());
+    }
+    (diff, mag)
+}
+
+/// Tile widths straddling the microkernel edges (`NR` = 16 f32 / 8 f64,
+/// plus the cache-block remainders).
+fn edge_tile() -> impl Strategy<Value = usize> {
+    const EDGES: [usize; 13] = [7, 8, 9, 15, 16, 17, 47, 48, 63, 64, 65, 127, 128];
+    (0usize..EDGES.len()).prop_map(|i| EDGES[i])
+}
+
+fn small_n() -> impl Strategy<Value = usize> {
+    const NS: [usize; 3] = [170, 220, 256];
+    (0usize..NS.len()).prop_map(|i| NS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A streamed epoch reproduces the in-core epoch's weights within the
+    /// forward-error bound of the tiled GEMM: the only numeric difference
+    /// is the column-tiled accumulation of the prediction `f = K α`, whose
+    /// per-entry error is `O(n · eps)` at the working precision (Higham
+    /// §3.5; the same bound `tests/precision.rs` uses for the packed GEMM),
+    /// compounded over the epochs' updates. Tile widths deliberately
+    /// straddle the microkernel edges (`NR` = 16 f32 / 8 f64, and the
+    /// `MC/NC` cache blocks' remainders).
+    #[test]
+    fn streamed_epoch_matches_in_core_across_precisions(
+        n_tile in edge_tile(),
+        n in small_n(),
+        seed in 0_u64..3,
+    ) {
+        let data = catalog::susy_like(n, seed);
+        let (train, _) = data.split_at(n);
+        for precision in [Precision::F64, Precision::F32, Precision::Mixed] {
+            let in_core = fit(&train, precision, None, None);
+            let streamed = fit(
+                &train,
+                precision,
+                Some(ResidencyMode::Streamed),
+                Some(n_tile),
+            );
+            prop_assert_eq!(in_core.report.residency, ResidencyMode::InCore);
+            prop_assert_eq!(streamed.report.residency, ResidencyMode::Streamed);
+            // Identical analytic plan (same Step-2 on a roomy device)...
+            prop_assert_eq!(in_core.report.params.eta, streamed.report.params.eta);
+            prop_assert_eq!(in_core.report.iterations, streamed.report.iterations);
+            // ...and weights within the documented bound: tight at f64,
+            // single-precision forward error at f32/mixed.
+            let (diff, mag) = weight_divergence(&streamed, &in_core);
+            let tol = match precision {
+                Precision::F64 => 1e-9,
+                Precision::F32 | Precision::Mixed => {
+                    4.0 * (n as f64) * f32::EPSILON as f64
+                }
+            };
+            prop_assert!(
+                diff <= tol * (1.0 + mag),
+                "{precision} n_tile {n_tile}: diff {diff:.3e} > tol {:.3e} (|w| ≤ {mag:.3e})",
+                tol * (1.0 + mag)
+            );
+        }
+    }
+}
+
+/// The ISSUE's acceptance scenario: f64 residency ≥ 4x over `S_G` trains
+/// end to end in `Streamed` mode; forcing the paper's in-core residency on
+/// the same problem reproduces the seed behaviour (a `MemoryError`-backed
+/// rejection); and the ledger never exceeded `S_G`.
+#[test]
+fn dataset_4x_over_budget_trains_streamed_end_to_end() {
+    let data = catalog::susy_like(2_000, 1);
+    let (train, test) = data.split_at(1_600);
+    let (n, d, l) = (train.len(), train.dim(), train.n_classes);
+    let sg = 16_000.0;
+    // The dataset's minimal in-core residency at f64 (m = 1), in ledger
+    // slots: ≥ 4x the device budget.
+    let residency_slots = ((d + l + 1) * n) as f64 * 2.0;
+    assert!(
+        residency_slots >= 4.0 * sg,
+        "scenario must be ≥ 4x over budget: {residency_slots} vs {sg}"
+    );
+    let device = ResourceSpec::new("ooc-device", 2e8, sg, 1e12, 0.0);
+    let config = |residency| TrainConfig {
+        kernel: KernelKind::Gaussian,
+        bandwidth: 4.0,
+        epochs: 3,
+        subsample_size: Some(150),
+        early_stopping: None,
+        residency,
+        ..TrainConfig::default()
+    };
+
+    // What the seed did: reject the problem outright.
+    match EigenPro2::new(config(Some(ResidencyMode::InCore)), device.clone()).fit(&train, None) {
+        Err(CoreError::DeviceMemory { .. }) => {}
+        other => panic!("in-core must reject a 4x-over-budget dataset, got {other:?}"),
+    }
+
+    // What the streaming engine does: train it, within the ledger.
+    let out = EigenPro2::new(config(None), device)
+        .fit(&train, Some(&test))
+        .expect("streamed training succeeds");
+    assert_eq!(out.report.residency, ResidencyMode::Streamed);
+    assert!(
+        out.report.peak_slots <= sg,
+        "peak {} exceeded S_G {sg}",
+        out.report.peak_slots
+    );
+    assert_eq!(out.report.budget_slots, sg);
+    // Training actually made progress: finite, and no divergence (small-m
+    // SGD on noisy SUSY data may wobble a few percent between epochs; the
+    // trainer's own safeguard allows up to 20% before it intervenes).
+    let first = out.report.epochs.first().unwrap().train_mse;
+    assert!(out.report.final_train_mse.is_finite());
+    assert!(
+        out.report.final_train_mse <= first * 1.2,
+        "mse {first} -> {} diverged",
+        out.report.final_train_mse
+    );
+    assert!(
+        out.report.final_val_error.unwrap() < 0.5,
+        "better than chance"
+    );
+    // The streamed Step-1 reports the in-core bound as unsolvable.
+    assert_eq!(out.report.params.memory_batch, 0);
+}
+
+/// Streaming at f32 halves the slot width, so the same `S_G` affords wider
+/// tiles (or a bigger batch) than f64 — the bf16 storage item on the
+/// roadmap doubles this again through the same plumbing.
+#[test]
+fn f32_streaming_fits_wider_tiles_than_f64() {
+    use eigenpro2::device::batch;
+    let spec = ResourceSpec::new("tiny", 1e12, 1e6, 1e12, 0.0);
+    let (n, d, l) = (20_000, 400, 10);
+    let p64 = batch::max_batch_streamed(&spec, n, d, l, Precision::F64, 2, Some(64)).unwrap();
+    let p32 = batch::max_batch_streamed(&spec, n, d, l, Precision::F32, 2, Some(64)).unwrap();
+    assert!(p32.n_tile > p64.n_tile);
+    assert!(p32.resident_slots(Precision::F32) <= spec.memory_floats);
+    assert!(p64.resident_slots(Precision::F64) <= spec.memory_floats);
+}
