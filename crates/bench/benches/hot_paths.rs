@@ -294,19 +294,33 @@ fn bench_streamed_epoch(_c: &mut Criterion) {
 
     // Streamed epoch: ledger sized to the tile plan (the in-core residency
     // (d + l + m)·n would not fit it), engine reused across the timed runs
-    // exactly as the trainer reuses it across epochs.
-    let plan = BlockPlan::new(n, d, l, m, n_tile, 3, Precision::F64);
-    let ledger = ep2_device::MemoryLedger::new(plan.total_slots() * 1.05);
-    let model = KernelModel::zeros(kernel.clone(), data.features.clone(), l);
-    let mut its = EigenProIteration::new(model, None, 1.0);
-    let centers = its.model().centers_shared();
-    let mut engine = StreamEngine::new(kernel.clone(), centers, plan, &ledger).unwrap();
+    // exactly as the trainer reuses it across epochs. Timed twice: the
+    // PR 3 baseline pipeline (one producer) and the planned partition the
+    // runtime's cost model picks for the current thread budget.
     let batch_refs: Vec<&[usize]> = batches.iter().map(Vec::as_slice).collect();
-    let t_streamed = time_min(2, || {
-        engine.run_epoch(&batch_refs, |bi, tiles| {
-            its.step_streamed(batch_refs[bi], &data.targets, tiles);
+    let timed_with = |producers: Option<usize>| {
+        let mut plan = BlockPlan::new(n, d, l, m, n_tile, 3, Precision::F64);
+        if let Some(p) = producers {
+            plan = plan.with_producers(p);
+        }
+        let producers = plan.threads.producers.min(plan.tiles_in_flight - 1).max(1);
+        // Headroom: 5% slack as before, plus the per-extra-producer staging
+        // charge the engine takes for its own `m x d` batch block.
+        let staging = ((producers - 1) * m * d) as f64 * Precision::F64.slot_factor();
+        let ledger = ep2_device::MemoryLedger::new(plan.total_slots() * 1.05 + staging);
+        let model = KernelModel::zeros(kernel.clone(), data.features.clone(), l);
+        let mut its = EigenProIteration::new(model, None, 1.0);
+        let centers = its.model().centers_shared();
+        let mut engine = StreamEngine::new(kernel.clone(), centers, plan, &ledger).unwrap();
+        let secs = time_min(2, || {
+            engine.run_epoch(&batch_refs, |bi, tiles| {
+                its.step_streamed(batch_refs[bi], &data.targets, tiles);
+            });
         });
-    });
+        (secs, engine.producers(), ledger)
+    };
+    let (t_streamed, baseline_producers, ledger) = timed_with(Some(1));
+    let (t_planned, planned_producers, _planned_ledger) = timed_with(None);
 
     let in_core_slots = ((d + l + m) * n) as f64 * 2.0;
     let throughput = t_in_core / t_streamed;
@@ -318,17 +332,114 @@ fn bench_streamed_epoch(_c: &mut Criterion) {
         ledger.peak_slots(),
         in_core_slots,
     );
-    write_stream_json(&[format!(
-        "    {{\"op\": \"streamed_epoch\", \"n\": {n}, \"d\": {d}, \"l\": {l}, \
-         \"m\": {m}, \"n_tile\": {n_tile}, \"in_core_s\": {t_in_core:.4}, \
-         \"streamed_s\": {t_streamed:.4}, \
-         \"streamed_over_in_core_throughput\": {throughput:.3}, \
-         \"peak_slots\": {:.4e}, \"budget_slots\": {:.4e}, \
-         \"in_core_resident_slots\": {:.4e}}}",
-        ledger.peak_slots(),
-        ledger.budget(),
-        in_core_slots,
-    )]);
+    println!(
+        "bench streamed_epoch planned producers = {planned_producers} \
+         (baseline {baseline_producers}): {t_planned:.3}s vs {t_streamed:.3}s \
+         ({:.2}x single-producer throughput)",
+        t_streamed / t_planned
+    );
+    write_stream_json(&[
+        format!(
+            "    {{\"op\": \"streamed_epoch\", \"n\": {n}, \"d\": {d}, \"l\": {l}, \
+             \"m\": {m}, \"n_tile\": {n_tile}, \"in_core_s\": {t_in_core:.4}, \
+             \"streamed_s\": {t_streamed:.4}, \
+             \"streamed_over_in_core_throughput\": {throughput:.3}, \
+             \"peak_slots\": {:.4e}, \"budget_slots\": {:.4e}, \
+             \"in_core_resident_slots\": {:.4e}}}",
+            ledger.peak_slots(),
+            ledger.budget(),
+            in_core_slots,
+        ),
+        format!(
+            "    {{\"op\": \"streamed_epoch_planned_producers\", \"n\": {n}, \
+             \"m\": {m}, \"n_tile\": {n_tile}, \
+             \"planned_producers\": {planned_producers}, \
+             \"single_producer_s\": {t_streamed:.4}, \"planned_s\": {t_planned:.4}, \
+             \"planned_over_single_throughput\": {:.3}}}",
+            t_streamed / t_planned
+        ),
+    ]);
+}
+
+/// The unified-runtime acceptance bench: the shared packed-B GEMM against
+/// the per-thread-packing baseline (`gemm_packed_perthread`) across a
+/// thread-budget sweep, writing `BENCH_pool.json`. The shared engine packs
+/// each `KC x NC` B block once per call instead of once per thread — at a
+/// budget of `t` the baseline moves `t x` the packing traffic.
+fn bench_pool_scaling(_c: &mut Criterion) {
+    use ep2_linalg::gemm::{gemm_packed, gemm_packed_perthread, View};
+
+    let sizes: &[usize] = if criterion::smoke_mode() {
+        &[256]
+    } else {
+        &[1024, 2048]
+    };
+    let budgets: &[usize] = if criterion::smoke_mode() {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    };
+    let mut records = Vec::new();
+    let rate = |n: usize, secs: f64| 2.0 * (n as f64).powi(3) / secs / 1e9;
+    for &n in sizes {
+        let a = lcg_matrix(n, n, 5);
+        let b = lcg_matrix(n, n, 6);
+        let mut c = Matrix::zeros(n, n);
+        let samples = if n >= 2048 { 2 } else { 3 };
+        let mut shared_1t = f64::INFINITY;
+        for &t in budgets {
+            let (shared, perthread) = ep2_runtime::with_budget(t, || {
+                let views = || {
+                    (
+                        View::row_major(a.as_slice(), n, n),
+                        View::row_major(b.as_slice(), n, n),
+                    )
+                };
+                let shared = time_min(samples, || {
+                    let (av, bv) = views();
+                    gemm_packed(1.0, av, bv, 0.0, c.as_mut_slice());
+                });
+                let perthread = time_min(samples, || {
+                    let (av, bv) = views();
+                    gemm_packed_perthread(1.0, av, bv, 0.0, c.as_mut_slice());
+                });
+                (shared, perthread)
+            });
+            if t == 1 {
+                shared_1t = shared;
+            }
+            println!(
+                "bench gemm_pool/{n}/t{t}  shared {shared:.3}s ({:.1} Gflop/s)  \
+                 perthread {perthread:.3}s  shared/perthread {:.2}x  scaling-vs-1t {:.2}x",
+                rate(n, shared),
+                perthread / shared,
+                shared_1t / shared
+            );
+            records.push(format!(
+                "    {{\"op\": \"gemm_pool\", \"n\": {n}, \"threads\": {t}, \
+                 \"shared_s\": {shared:.4}, \"shared_gflops\": {:.2}, \
+                 \"perthread_s\": {perthread:.4}, \
+                 \"shared_over_perthread\": {:.3}, \"scaling_vs_1t\": {:.3}}}",
+                rate(n, shared),
+                perthread / shared,
+                shared_1t / shared
+            ));
+        }
+    }
+    write_pool_json(&records);
+}
+
+/// `BENCH_pool.json` accumulator — the unified-runtime thread-scaling
+/// comparisons (same contract as [`write_bench_json`]).
+fn write_pool_json(records: &[String]) {
+    static PENDING: std::sync::OnceLock<std::sync::Mutex<Vec<String>>> = std::sync::OnceLock::new();
+    write_json_accum(
+        &PENDING,
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json"),
+        "\"model\": \"shared packed-B pool GEMM vs per-thread packing \
+         baseline, under EP2_THREADS-style budget handles\",",
+        records,
+    );
 }
 
 /// `BENCH_stream.json` accumulator — same contract as [`write_bench_json`]
@@ -361,9 +472,10 @@ fn host_description() -> String {
     } else {
         std::env::consts::ARCH
     };
-    let threads = std::env::var("EP2_NUM_THREADS")
-        .map(|v| format!("EP2_NUM_THREADS={v}"))
-        .unwrap_or_else(|_| "EP2_NUM_THREADS unset".to_string());
+    let threads = std::env::var("EP2_THREADS")
+        .map(|v| format!("EP2_THREADS={v}"))
+        .or_else(|_| std::env::var("EP2_NUM_THREADS").map(|v| format!("EP2_NUM_THREADS={v}")))
+        .unwrap_or_else(|_| "EP2_THREADS unset".to_string());
     format!("{cores} core(s), {simd}, target-cpu=native, {threads}")
 }
 
@@ -490,6 +602,7 @@ criterion_group!(
     benches,
     bench_gemm,
     bench_gemm_packed_vs_seed,
+    bench_pool_scaling,
     bench_kernel_assembly,
     bench_assembly_packed,
     bench_epoch_time,

@@ -47,6 +47,10 @@ plan/train options:
                       trainer streams automatically when the in-core
                       residency (d + l + m)·n exceeds S_G
   --tile <int>        streamed tile width n_tile (default: widest that fits)
+  --producers <int>   streamed tile-assembly producer tasks (default: the
+                      cost-model partition of the EP2_THREADS budget between
+                      assembly and the update GEMM; the EP2_STREAM_PRODUCERS
+                      env var survives as a deprecated override)
   --epochs <int>      epoch cap for train            (default 10)
   --test-frac <f64>   held-out fraction for train    (default 0.2)
   --no-early-stop     disable validation early stopping
@@ -168,6 +172,17 @@ fn load_precision(parsed: &Parsed) -> Result<Precision, String> {
     }
 }
 
+/// The `--producers` override (explicit config wins over the deprecated
+/// `EP2_STREAM_PRODUCERS` env var, which the stream planner still honours
+/// beneath it).
+fn resolve_producers(parsed: &Parsed) -> Result<Option<usize>, String> {
+    match parsed.get_opt::<usize>("producers")? {
+        Some(0) => Err("--producers must be positive".to_string()),
+        Some(p) => Ok(Some(p)),
+        None => Ok(ep2_stream::producer_override()),
+    }
+}
+
 fn load_kernel_kind(parsed: &Parsed) -> Result<KernelKind, String> {
     let name = parsed
         .options
@@ -187,19 +202,21 @@ fn plan(parsed: &Parsed) -> Result<(), String> {
     let kernel: Arc<dyn Kernel> = kind.with_bandwidth(sigma).into();
     let (n, d, l) = (dataset.len(), dataset.dim(), dataset.n_classes);
     let streamed = parsed.flag("out-of-core") || !batch::fits_in_core(&device, n, d, l, precision);
+    let producers_override = resolve_producers(parsed)?;
     let stream_plan = if streamed {
-        // Same ring depth the trainer will use (producers need headroom),
-        // so `plan` previews exactly the tiling `train` executes.
-        let tiles_in_flight = batch::DEFAULT_TILES_IN_FLIGHT.max(ep2_stream::num_producers() + 1);
+        // The same ring-sizing entry point the trainer uses
+        // (`max_batch_streamed_planned`), so `plan` previews exactly the
+        // tiling `train` executes.
         Some(
-            batch::max_batch_streamed(
+            batch::max_batch_streamed_planned(
                 &device,
                 n,
                 d,
                 l,
                 precision,
-                tiles_in_flight,
                 parsed.get_opt("batch")?,
+                producers_override,
+                ep2_runtime::current_threads(),
             )
             .map_err(|e| e.to_string())?,
         )
@@ -210,10 +227,12 @@ fn plan(parsed: &Parsed) -> Result<(), String> {
         Some(splan) => autotune::plan_streamed(
             &kernel,
             &dataset.features,
+            l,
             &device,
             parsed.get_opt("s")?,
             parsed.get_opt("q")?,
             splan,
+            producers_override,
             precision,
             seed,
         )
@@ -261,10 +280,16 @@ fn plan(parsed: &Parsed) -> Result<(), String> {
                 splan.resident_slots(precision),
                 device.memory_floats
             );
+            if let Some(tp) = &params.stream_threads {
+                println!(
+                    "         threads = {} ({} producer(s) x {} assembly + {} update)",
+                    tp.total, tp.producers, tp.producer_threads, tp.update_threads
+                );
+            }
         }
         None => println!(
-            "Step 1   m^C_G = {}   m^S_G = {}   m = {}",
-            params.capacity_batch, params.memory_batch, params.m
+            "Step 1   m^C_G = {}   m^S_G = {}   m = {}   threads = {}",
+            params.capacity_batch, params.memory_batch, params.m, params.threads
         ),
     }
     println!(
@@ -361,6 +386,7 @@ fn train(parsed: &Parsed) -> Result<(), String> {
             None
         },
         stream_tile: parsed.get_opt("tile")?,
+        stream_producers: resolve_producers(parsed)?,
         seed: parsed.get_or("seed", 0)?,
     };
     let outcome = EigenPro2::new(config, device)
@@ -379,6 +405,13 @@ fn train(parsed: &Parsed) -> Result<(), String> {
         p.adjusted_q,
         p.eta
     );
+    match &p.stream_threads {
+        Some(tp) => println!(
+            "threads: {} ({} producer(s) x {} assembly + {} update)",
+            tp.total, tp.producers, tp.producer_threads, tp.update_threads
+        ),
+        None => println!("threads: {}", p.threads),
+    }
     for e in &outcome.report.epochs {
         match e.val_error {
             Some(ve) => println!(

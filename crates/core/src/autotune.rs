@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use ep2_device::cost::{self, StreamThreadPlan};
 use ep2_device::{batch, Precision, ResourceSpec};
 use ep2_kernels::Kernel;
 use ep2_linalg::{Matrix, Scalar};
@@ -73,6 +74,14 @@ pub struct AutoParams {
     pub eta: f64,
     /// Appendix-C predicted acceleration of `k_G` over `k`.
     pub acceleration: f64,
+    /// The runtime's resolved thread budget (`EP2_THREADS`, the deprecated
+    /// `EP2_NUM_THREADS` alias, or the available CPUs) the plan was made
+    /// under — every hot path of the run is accountable to it.
+    pub threads: usize,
+    /// Streamed runs only: how the budget splits between tile-assembly
+    /// producers and the update GEMM (the `device::cost` overlap model's
+    /// partition, threaded down to the stream engine).
+    pub stream_threads: Option<StreamThreadPlan>,
 }
 
 /// Runs Steps 1–2 and derives Step 3's optimisation parameters.
@@ -140,7 +149,13 @@ pub fn plan<S: Scalar>(
 ///
 /// Reported parameters: `m` is the streamed batch, `capacity_batch` the
 /// unshrunk `m^C_G`, and `memory_batch` is 0 — the in-core memory bound's
-/// "does not fit" marker.
+/// "does not fit" marker. The returned [`AutoParams::stream_threads`]
+/// carries the budget partition between tile-assembly producers and the
+/// update GEMM ([`cost::partition_stream_threads`] over the planned shape
+/// — including the fitted `s`/`q` setup terms), with `producers_override`
+/// (the `--producers` flag or the deprecated `EP2_STREAM_PRODUCERS` env
+/// var) pinning the producer count; producers are clamped to the ring
+/// depth minus one, the pipeline's liveness bound.
 ///
 /// # Errors
 ///
@@ -150,10 +165,12 @@ pub fn plan<S: Scalar>(
 pub fn plan_streamed<S: Scalar>(
     kernel: &Arc<dyn Kernel<S>>,
     train_x: &Matrix<S>,
+    n_labels: usize,
     device: &ResourceSpec,
     s_override: Option<usize>,
     q_override: Option<usize>,
     splan: &batch::StreamedBatchPlan,
+    producers_override: Option<usize>,
     precision: Precision,
     seed: u64,
 ) -> Result<(AutoParams, Option<Preconditioner<S>>), CoreError> {
@@ -168,7 +185,36 @@ pub fn plan_streamed<S: Scalar>(
         memory_batch: 0,
         setup_elements: Some(device.memory_slots(precision)),
     };
-    plan_with_step1(kernel, train_x, s_override, q_override, step1, seed)
+    let (mut params, precond) =
+        plan_with_step1(kernel, train_x, s_override, q_override, step1, seed)?;
+    let shape = cost::ProblemShape {
+        n: train_x.rows(),
+        m: splan.m,
+        d: train_x.cols(),
+        l: n_labels,
+        s: params.s,
+        q: params.adjusted_q,
+    };
+    let max_producers = splan.tiles_in_flight.saturating_sub(1).max(1);
+    let mut tp = cost::partition_stream_threads(
+        &shape,
+        splan.n_tile,
+        params.threads,
+        producers_override.map(|p| p.clamp(1, max_producers)),
+    );
+    if tp.producers > max_producers {
+        // The refined (s/q-aware) partition wants more producers than the
+        // ring admits: re-partition with the ring bound pinned, so the
+        // per-task budgets are rebalanced instead of threads going idle.
+        tp = cost::partition_stream_threads(
+            &shape,
+            splan.n_tile,
+            params.threads,
+            Some(max_producers),
+        );
+    }
+    params.stream_threads = Some(tp);
+    Ok((params, precond))
 }
 
 /// The Step-1 outcome [`plan_with_step1`] starts from, however it was
@@ -267,6 +313,8 @@ fn plan_with_step1<S: Scalar>(
             m_star_g,
             eta,
             acceleration,
+            threads: ep2_runtime::current_threads(),
+            stream_threads: None,
         },
         precond,
     ))

@@ -109,6 +109,13 @@ pub struct TrainConfig {
     /// `None` = the widest tile the ring budget affords. Must still fit the
     /// budget formula — see `ep2_device::batch::streamed_slots`.
     pub stream_tile: Option<usize>,
+    /// Streamed-mode producer-count override (tile-assembly stage tasks).
+    /// `None` (the default) lets `autotune::plan_streamed` partition the
+    /// thread budget between assembly and the update GEMM via the
+    /// `device::cost` overlap model; the deprecated `EP2_STREAM_PRODUCERS`
+    /// env var is honoured beneath an explicit setting. Clamped to the ring
+    /// depth minus one (the pipeline's liveness bound).
+    pub stream_producers: Option<usize>,
     /// RNG seed (subsampling + batch shuffling).
     pub seed: u64,
 }
@@ -130,6 +137,7 @@ impl Default for TrainConfig {
             precision: Precision::F64,
             residency: None,
             stream_tile: None,
+            stream_producers: None,
             seed: 0,
         }
     }
@@ -344,20 +352,25 @@ impl EigenPro2 {
             });
         }
 
-        // Steps 1–2 (+ Step-3 parameters), residency-specific.
+        // Steps 1–2 (+ Step-3 parameters), residency-specific. The producer
+        // count resolves explicit config > deprecated env var > planned;
+        // `max_batch_streamed_planned` (shared with `ep2 plan`, so both
+        // always agree on the tiling) sizes the ring to the planned
+        // producer count, and the final cost-model partition runs inside
+        // `plan_streamed` once `s`/`q` are known.
+        let requested_producers = cfg.stream_producers.or(ep2_stream::producer_override());
         let stream_plan = match residency {
             ResidencyMode::InCore => None,
             ResidencyMode::Streamed => {
-                let tiles_in_flight =
-                    batch::DEFAULT_TILES_IN_FLIGHT.max(ep2_stream::num_producers() + 1);
-                let mut splan = batch::max_batch_streamed(
+                let mut splan = batch::max_batch_streamed_planned(
                     &self.device,
                     n,
                     d,
                     n_outputs,
                     cfg.precision,
-                    tiles_in_flight,
                     cfg.batch_size,
+                    requested_producers,
+                    ep2_runtime::current_threads(),
                 )
                 .map_err(|e| CoreError::DeviceMemory {
                     message: e.to_string(),
@@ -370,7 +383,7 @@ impl EigenPro2 {
                         n_outputs,
                         splan.m,
                         splan.n_tile,
-                        tiles_in_flight,
+                        splan.tiles_in_flight,
                     );
                     if splan.resident_slots(cfg.precision) > self.device.memory_floats {
                         return Err(CoreError::DeviceMemory {
@@ -424,10 +437,12 @@ impl EigenPro2 {
                     let (params, precond64) = autotune::plan_streamed(
                         &kernel64,
                         features,
+                        n_outputs,
                         &self.device,
                         cfg.subsample_size,
                         cfg.q,
                         splan,
+                        requested_producers,
                         cfg.precision,
                         cfg.seed,
                     )?;
@@ -436,10 +451,12 @@ impl EigenPro2 {
                     autotune::plan_streamed(
                         &kernel,
                         &features_s,
+                        n_outputs,
                         &self.device,
                         cfg.subsample_size,
                         cfg.q,
                         splan,
+                        requested_producers,
                         cfg.precision,
                         cfg.seed,
                     )?
@@ -470,7 +487,12 @@ impl EigenPro2 {
                 Executor::InCore { _residency: guard }
             }
             Some(splan) => {
-                let bplan = BlockPlan::from_streamed(n, d, n_outputs, splan, cfg.precision);
+                let bplan = BlockPlan::from_streamed(n, d, n_outputs, splan, cfg.precision)
+                    .with_stream_threads(
+                        params
+                            .stream_threads
+                            .expect("plan_streamed always records the thread partition"),
+                    );
                 let guard =
                     ledger
                         .alloc(bplan.static_slots())
@@ -1086,6 +1108,11 @@ mod tests {
                 batch_size: Some(32),
                 residency,
                 stream_tile,
+                // Pin the PR 3 single-producer double-buffered pipeline:
+                // the residency comparison below is a property of that
+                // ring shape, and the auto-planned producer count (hence
+                // ring depth) varies with the thread budget.
+                stream_producers: Some(1),
                 ..quick_config()
             };
             EigenPro2::new(cfg, ResourceSpec::scaled_virtual_gpu())

@@ -13,12 +13,13 @@
 //! features themselves do not fit — the in-core bound has no solution and
 //! the paper's workflow rejects the problem. [`max_batch_streamed`] instead
 //! plans a *streamed* residency ([`ResidencyMode::Streamed`]): only the
-//! weights (`l·n`), the mini-batch feature block (`d·m`), and a bounded ring
-//! of `tiles_in_flight` kernel-block tiles — each an `m x n_tile` kernel
+//! weights (`l·n`), the staged mini-batch feature blocks (`d·m` per
+//! producer, bounded by `tiles_in_flight - 1`), and a bounded ring of
+//! `tiles_in_flight` kernel-block tiles — each an `m x n_tile` kernel
 //! panel plus its `d x n_tile` staged feature slice — are resident at once:
 //!
 //! ```text
-//! tiles_in_flight · (m + d) · n_tile  +  l·n  +  d·m  ≤  S_G / slot_factor
+//! tif · (m + d) · n_tile  +  l·n  +  (tif − 1)·d·m  ≤  S_G / slot_factor
 //! ```
 //!
 //! `m` and `n_tile` are chosen jointly: start from the capacity batch and
@@ -184,7 +185,11 @@ pub const DEFAULT_TILES_IN_FLIGHT: usize = 2;
 /// Elements resident during a streamed epoch (before the precision's
 /// slot-factor): the tile ring (`tiles_in_flight` slots of an `m x n_tile`
 /// kernel panel plus its `d x n_tile` staged feature slice), the weights
-/// `l·n`, and the mini-batch feature block `d·m`.
+/// `l·n`, and up to `tiles_in_flight - 1` staged `d·m` mini-batch feature
+/// blocks — one per producer, and the pipeline's liveness bound caps the
+/// producer count at `tiles_in_flight - 1`, so this is the worst case the
+/// engine can actually charge. At the default double-buffered ring this
+/// reduces to the single batch block of the one-producer pipeline.
 pub fn streamed_slots(
     n: usize,
     d: usize,
@@ -193,7 +198,8 @@ pub fn streamed_slots(
     n_tile: usize,
     tiles_in_flight: usize,
 ) -> f64 {
-    (tiles_in_flight * (m + d) * n_tile) as f64 + (l * n) as f64 + (d * m) as f64
+    let staging_blocks = tiles_in_flight.saturating_sub(1).max(1);
+    (tiles_in_flight * (m + d) * n_tile) as f64 + (l * n) as f64 + (staging_blocks * d * m) as f64
 }
 
 /// The outcome of the streamed Step-1 calculation.
@@ -256,8 +262,11 @@ pub fn max_batch_streamed(
     let budget = spec.memory_slots(precision);
     let capacity_batch = batch_for_capacity(spec, n, d, l);
     // Widest tile the leftover budget affords at batch size m (0 = none).
+    // Reserves one staged `d·m` batch block per possible producer
+    // (`tiles_in_flight - 1`, the liveness bound) — see `streamed_slots`.
+    let staging_blocks = tiles_in_flight - 1;
     let tile_for = |m: usize| -> usize {
-        let free = budget - ((l * n) as f64 + (d * m) as f64);
+        let free = budget - ((l * n) as f64 + (staging_blocks * d * m) as f64);
         let per_col = (tiles_in_flight * (m + d)) as f64;
         if free < per_col {
             0
@@ -302,9 +311,114 @@ pub fn max_batch_streamed(
     }
 }
 
+/// [`max_batch_streamed`] with the ring depth chosen to fit the pipeline's
+/// *planned* producer count — the single entry point `ep2 plan` and the
+/// trainer share, so both always agree on the tiling.
+///
+/// The circularity (ring depth shapes `n_tile`; `n_tile` shapes the
+/// producer plan; producers bound the ring depth) resolves in at most two
+/// deterministic rounds: plan at the default double-buffered ring first,
+/// partition the thread budget over the resulting tile width
+/// ([`crate::cost::partition_stream_threads`] with the setup terms zeroed
+/// — `s`/`q` are not known until Step 2, so this slightly overweights the
+/// assembly side; the trainer's final partition includes them), and
+/// re-plan with a deeper ring only when the partition actually wants more
+/// producers than the ring admits. Wide tiles therefore keep the PR 3
+/// double-buffered ring on any core count; only genuinely multi-producer
+/// pipelines pay for extra slots. An explicit `producers_override` (CLI
+/// flag / config / deprecated env var) sizes the ring to `override + 1`
+/// directly.
+///
+/// # Errors
+///
+/// Same conditions as [`max_batch_streamed`].
+///
+/// # Panics
+///
+/// Same conditions as [`max_batch_streamed`].
+// Positional knobs mirror `max_batch_streamed` 1:1 plus the two planning
+// inputs; every caller names them at the call site.
+#[allow(clippy::too_many_arguments)]
+pub fn max_batch_streamed_planned(
+    spec: &ResourceSpec,
+    n: usize,
+    d: usize,
+    l: usize,
+    precision: Precision,
+    m_override: Option<usize>,
+    producers_override: Option<usize>,
+    total_threads: usize,
+) -> Result<StreamedBatchPlan, MemoryError> {
+    if let Some(p) = producers_override {
+        // Mirror `partition_stream_threads`' budget clamp (producers +
+        // consumer ≤ total on a multi-thread budget) so the ring is sized
+        // for the producer count that will actually run.
+        let p = if total_threads > 1 {
+            p.clamp(1, total_threads - 1)
+        } else {
+            p.max(1)
+        };
+        let tif = DEFAULT_TILES_IN_FLIGHT.max(p + 1);
+        return max_batch_streamed(spec, n, d, l, precision, tif, m_override);
+    }
+    let splan = max_batch_streamed(
+        spec,
+        n,
+        d,
+        l,
+        precision,
+        DEFAULT_TILES_IN_FLIGHT,
+        m_override,
+    )?;
+    let shape = crate::cost::ProblemShape {
+        n,
+        m: splan.m,
+        d,
+        l,
+        s: 0,
+        q: 0,
+    };
+    let planned =
+        crate::cost::partition_stream_threads(&shape, splan.n_tile, total_threads, None).producers;
+    if planned + 1 > splan.tiles_in_flight {
+        return max_batch_streamed(spec, n, d, l, precision, planned + 1, m_override);
+    }
+    Ok(splan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn planned_ring_depth_is_core_count_invariant_on_wide_tiles() {
+        // Roomy budget → wide tiles → one planned producer at any thread
+        // count: the ring must stay double-buffered regardless of cores
+        // (plans — and hence m, eta, convergence — must not vary with the
+        // machine the planner happens to run on).
+        let spec = ResourceSpec::scaled_virtual_gpu();
+        let mut plans = vec![];
+        for total in [1usize, 4, 16] {
+            let p = max_batch_streamed_planned(
+                &spec,
+                3_000,
+                440,
+                10,
+                Precision::F64,
+                None,
+                None,
+                total,
+            )
+            .unwrap();
+            assert_eq!(p.tiles_in_flight, DEFAULT_TILES_IN_FLIGHT, "total={total}");
+            plans.push((p.m, p.n_tile));
+        }
+        assert!(plans.windows(2).all(|w| w[0] == w[1]));
+        // An explicit producer override sizes the ring to fit it directly.
+        let p = max_batch_streamed_planned(&spec, 3_000, 440, 10, Precision::F64, None, Some(3), 4)
+            .unwrap();
+        assert_eq!(p.tiles_in_flight, 4);
+    }
 
     #[test]
     fn titan_xp_mnist_scale_matches_table4() {

@@ -154,6 +154,100 @@ pub fn streamed_eigenpro(shape: &ProblemShape, n_tile: usize) -> StreamedCost {
     }
 }
 
+/// How the streamed pipeline splits one core budget between its two sides:
+/// tile-assembly producers and the consumer's update GEMM. Produced by
+/// [`partition_stream_threads`] from the overlap model above; threaded from
+/// `autotune::plan_streamed` through `TrainConfig` down to the stream
+/// engine, so every hot path is accountable to the same budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamThreadPlan {
+    /// The whole budget (the runtime's resolved thread count).
+    pub total: usize,
+    /// Tile-assembly producer tasks.
+    pub producers: usize,
+    /// Thread-budget handle each producer runs its assembly GEMM under.
+    pub producer_threads: usize,
+    /// Thread-budget handle the consumer's update runs under.
+    pub update_threads: usize,
+}
+
+impl StreamThreadPlan {
+    /// The degenerate single-thread partition (everything budget 1; the
+    /// pipeline still needs one producer task, minimally oversubscribing a
+    /// one-core budget — streaming is inherently two-sided).
+    pub fn serial() -> Self {
+        StreamThreadPlan {
+            total: 1,
+            producers: 1,
+            producer_threads: 1,
+            update_threads: 1,
+        }
+    }
+
+    /// Threads the assembly side holds in total.
+    pub fn assembly_threads(&self) -> usize {
+        self.producers * self.producer_threads
+    }
+}
+
+/// Tile width at which one producer's internal GEMM threading stops scaling
+/// (panels narrower than the packed engine's cache blocks leave workers
+/// idle); below it the planner spreads the assembly budget over more
+/// producers instead.
+pub const REF_STREAM_TILE: usize = 256;
+
+/// Partitions a `total`-thread budget between the streamed pipeline's
+/// producers and its update side, proportionally to the overlap model's
+/// `assembly_ops : update_ops` split for this shape and tiling.
+///
+/// `producers_override` (the `--producers` flag / deprecated
+/// `EP2_STREAM_PRODUCERS` env var) pins the producer count, clamped to
+/// `total - 1` so producers plus the consumer never exceed the budget (the
+/// `total == 1` degenerate case keeps the override verbatim — a
+/// single-thread budget cannot run a pipeline without oversubscribing, so
+/// the count is the pipeline's shape there, not a thread claim); the
+/// assembly budget is then divided among that many tasks. Without an
+/// override, the producer count grows as tiles narrow below
+/// [`REF_STREAM_TILE`] — wide tiles keep one producer whose GEMM threads
+/// internally, narrow tiles spread across producers because intra-GEMM
+/// scaling has nothing to chew on (the ROADMAP's "producer-count
+/// autotuner").
+///
+/// # Panics
+///
+/// Panics if `n_tile == 0` (via [`streamed_eigenpro`]).
+pub fn partition_stream_threads(
+    shape: &ProblemShape,
+    n_tile: usize,
+    total: usize,
+    producers_override: Option<usize>,
+) -> StreamThreadPlan {
+    let total = total.max(1);
+    let cost = streamed_eigenpro(shape, n_tile);
+    if total == 1 {
+        return StreamThreadPlan {
+            producers: producers_override.unwrap_or(1).max(1),
+            ..StreamThreadPlan::serial()
+        };
+    }
+    let both = (cost.assembly_ops + cost.update_ops).max(1.0);
+    let share = cost.assembly_ops / both;
+    let assembly = ((total as f64 * share).round() as usize).clamp(1, total - 1);
+    let producers = producers_override
+        .map(|p| p.clamp(1, total - 1))
+        .unwrap_or_else(|| (assembly * REF_STREAM_TILE / n_tile.max(1)).clamp(1, assembly));
+    let producer_threads = (assembly / producers).max(1);
+    // Threads the producer split cannot use evenly go to the update side,
+    // so the partition always accounts for the whole budget.
+    let update_threads = total.saturating_sub(producers * producer_threads).max(1);
+    StreamThreadPlan {
+        total,
+        producers,
+        producer_threads,
+        update_threads,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +352,81 @@ mod tests {
         };
         let c = streamed_eigenpro(&shape, 1000);
         assert!(c.overlap_factor() > 1.9, "factor {}", c.overlap_factor());
+    }
+
+    #[test]
+    fn thread_partition_tracks_ops_ratio() {
+        // d ≫ l: assembly dominates, so it gets most of the budget — but
+        // the update side always keeps at least one thread.
+        let heavy_assembly = ProblemShape {
+            n: 100_000,
+            m: 512,
+            d: 512,
+            l: 4,
+            s: 2_000,
+            q: 50,
+        };
+        let tp = partition_stream_threads(&heavy_assembly, 512, 8, None);
+        assert_eq!(tp.total, 8);
+        assert!(tp.assembly_threads() >= tp.update_threads);
+        assert!(tp.update_threads >= 1);
+        assert_eq!(tp.assembly_threads() + tp.update_threads, 8);
+        // Balanced sides split roughly evenly.
+        let balanced = ProblemShape {
+            d: 64,
+            l: 64,
+            s: 0,
+            q: 0,
+            ..heavy_assembly
+        };
+        let tp = partition_stream_threads(&balanced, 512, 8, None);
+        assert_eq!(tp.assembly_threads(), 4);
+        assert_eq!(tp.update_threads, 4);
+    }
+
+    #[test]
+    fn thread_partition_spreads_producers_on_narrow_tiles() {
+        let shape = ProblemShape {
+            n: 50_000,
+            m: 256,
+            d: 400,
+            l: 10,
+            s: 1_000,
+            q: 40,
+        };
+        let wide = partition_stream_threads(&shape, 1024, 8, None);
+        assert_eq!(wide.producers, 1, "wide tiles: one producer, threaded GEMM");
+        assert!(wide.producer_threads > 1);
+        let narrow = partition_stream_threads(&shape, 64, 8, None);
+        assert!(
+            narrow.producers > 1,
+            "narrow tiles: spread across producers"
+        );
+    }
+
+    #[test]
+    fn thread_partition_honours_override_and_serial_budget() {
+        let shape = ProblemShape {
+            n: 10_000,
+            m: 128,
+            d: 100,
+            l: 10,
+            s: 500,
+            q: 20,
+        };
+        let forced = partition_stream_threads(&shape, 256, 8, Some(3));
+        assert_eq!(forced.producers, 3);
+        assert!(forced.update_threads >= 1);
+        // An override past the budget is clamped: producers + consumer
+        // must never oversubscribe a multi-thread budget.
+        let over = partition_stream_threads(&shape, 256, 4, Some(8));
+        assert_eq!(over.producers, 3);
+        assert!(over.assembly_threads() + over.update_threads <= 4);
+        let serial = partition_stream_threads(&shape, 256, 1, None);
+        assert_eq!(serial, StreamThreadPlan::serial());
+        let serial_forced = partition_stream_threads(&shape, 256, 1, Some(2));
+        assert_eq!(serial_forced.producers, 2);
+        assert_eq!(serial_forced.producer_threads, 1);
     }
 
     #[test]

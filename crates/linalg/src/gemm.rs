@@ -29,10 +29,16 @@
 //!   microkernel against zero-padded panels into a stack scratch tile, and
 //!   only the valid `mr x nr` corner is accumulated back — no scalar
 //!   fallback loops to keep correct.
-//! - **Threading** splits the rows of `C` into `MR`-aligned stripes over
-//!   [`crate::parallel::num_threads`] scoped threads; each stripe packs into
-//!   its own per-thread arena buffers ([`crate::parallel::with_pack_buffers`]),
-//!   so no synchronisation exists inside the block loops.
+//! - **Threading** runs on the [`ep2_runtime`] worker pool under the
+//!   caller's thread-budget handle ([`crate::parallel::num_threads`]). For
+//!   every `(jc, pc)` cache block the packed-B slab is filled **once,
+//!   cooperatively** (one NR panel per pool chunk) and then shared
+//!   read-only by all workers sweeping their MC row blocks of `C` — the
+//!   fork-join between the two phases is the panel barrier. This cuts the
+//!   packing traffic `threads x` relative to the previous per-thread
+//!   packing scheme (kept as [`gemm_packed_perthread`], the measured
+//!   baseline in `BENCH_pool.json`); A panels still pack into per-thread
+//!   arenas ([`crate::parallel::with_pack_buffers`]).
 //!
 //! Measured on the dev container (1 core, AVX-512, `target-cpu=native`;
 //! see `BENCH_gemm.json`): f32 sustains 77-87 Gflop/s (7.4-8.7x the seed
@@ -153,21 +159,34 @@ fn pack_b<S: Scalar>(b: &View<'_, S>, p0: usize, j0: usize, kc: usize, nc: usize
         .chunks_exact_mut(nr * kc)
         .enumerate()
     {
-        let cols_here = nr.min(nc - pj * nr);
-        let col_base = j0 + pj * nr;
-        if b.cs == 1 && cols_here == nr {
-            for (p, dst) in panel.chunks_exact_mut(nr).enumerate() {
-                dst.copy_from_slice(&b.data[(p0 + p) * b.rs + col_base..][..nr]);
-            }
-        } else {
-            for (p, dst) in panel.chunks_exact_mut(nr).enumerate() {
-                for (j, d) in dst.iter_mut().enumerate() {
-                    *d = if j < cols_here {
-                        b.at(p0 + p, col_base + j)
-                    } else {
-                        S::ZERO
-                    };
-                }
+        pack_b_panel(b, p0, j0 + pj * nr, kc, nr.min(nc - pj * nr), panel);
+    }
+}
+
+/// Packs one NR-wide, k-major B panel (`cols_here` valid columns starting
+/// at `col_base`, zero-padded to NR). The unit of work of the cooperative
+/// shared-slab fill: disjoint panels can be packed by different workers.
+fn pack_b_panel<S: Scalar>(
+    b: &View<'_, S>,
+    p0: usize,
+    col_base: usize,
+    kc: usize,
+    cols_here: usize,
+    panel: &mut [S],
+) {
+    let nr = S::NR;
+    if b.cs == 1 && cols_here == nr {
+        for (p, dst) in panel[..nr * kc].chunks_exact_mut(nr).enumerate() {
+            dst.copy_from_slice(&b.data[(p0 + p) * b.rs + col_base..][..nr]);
+        }
+    } else {
+        for (p, dst) in panel[..nr * kc].chunks_exact_mut(nr).enumerate() {
+            for (j, d) in dst.iter_mut().enumerate() {
+                *d = if j < cols_here {
+                    b.at(p0 + p, col_base + j)
+                } else {
+                    S::ZERO
+                };
             }
         }
     }
@@ -285,23 +304,66 @@ fn gemm_small<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c: &
 /// This is the single engine behind `gemm`, `gemm_tn` and `gemm_nt`: the
 /// transpose variants differ only in the strides of the packed views.
 ///
+/// Under a thread budget of 1 the whole block loop runs inline on the
+/// caller; with more threads it dispatches to the cooperative shared-slab
+/// engine ([`gemm_packed_shared`] internally), which packs each B block
+/// **once** into a slab all workers read instead of once per thread. Both
+/// paths — and the per-thread baseline [`gemm_packed_perthread`] — produce
+/// bit-for-bit identical results: the per-entry accumulation order (KC
+/// slabs in ascending `pc`, one register-tile accumulation each) never
+/// changes, only which thread computes it.
+///
 /// # Panics
 ///
 /// Panics if `a.cols != b.rows`, `a.rows * b.cols != c.len() / ldc * ldc`
 /// shape-wise, or `ldc != b.cols`.
 pub fn gemm_packed<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c: &mut [S]) {
+    let threads = parallel::num_threads();
+    if threads <= 1 {
+        gemm_packed_perthread(alpha, a, b, beta, c);
+    } else {
+        gemm_packed_shared(alpha, a, b, beta, c, threads);
+    }
+}
+
+/// Checks shapes and handles the degenerate cases shared by both packed
+/// engines; returns `None` when the caller is already done.
+fn packed_preamble<S: Scalar>(
+    a: &View<'_, S>,
+    b: &View<'_, S>,
+    alpha: S,
+    beta: S,
+    c: &mut [S],
+) -> Option<(usize, usize, usize)> {
     assert_eq!(a.cols, b.rows, "gemm_packed: inner dimension mismatch");
     let (m, n) = (a.rows, b.cols);
     assert_eq!(c.len(), m * n, "gemm_packed: C buffer shape mismatch");
     if m == 0 || n == 0 {
-        return;
+        return None;
     }
     if a.cols == 0 || alpha == S::ZERO {
         scale_stripe(c, beta);
-        return;
+        return None;
     }
-    // MR-aligned row stripes over the worker threads. The beta pass runs
-    // inside each stripe so C is touched exactly once before accumulation.
+    Some((m, a.cols, n))
+}
+
+/// The pre-pool engine, kept as the measured baseline: MR-aligned row
+/// stripes of `C` over the workers, **each stripe packing its own copy of
+/// every B block** (`threads x` redundant packing traffic). `BENCH_pool.json`
+/// and the shared-slab property tests compare against this path.
+pub fn gemm_packed_perthread<S: Scalar>(
+    alpha: S,
+    a: View<'_, S>,
+    b: View<'_, S>,
+    beta: S,
+    c: &mut [S],
+) {
+    let Some((m, _, n)) = packed_preamble(&a, &b, alpha, beta, c) else {
+        return;
+    };
+    // The beta pass runs inside each stripe so C is touched exactly once
+    // before accumulation.
     let threads = parallel::num_threads();
     let stripe_rows = m
         .div_ceil(threads)
@@ -312,6 +374,108 @@ pub fn gemm_packed<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S,
         let rows = stripe.len() / n;
         scale_stripe(stripe, beta);
         gemm_stripe(alpha, &a, &b, stripe, r0, rows, n);
+    });
+}
+
+/// The cooperative shared-slab engine: for every `(jc, pc)` cache block,
+/// the B panels are packed **once** into a slab shared by all workers
+/// (phase 1, one NR panel per pool chunk), and only then do the workers
+/// sweep their MC row blocks of `C` against it (phase 2, per-thread A
+/// packing as before). The fork-join between the two phases is the panel
+/// barrier: no worker reads a panel before the pool has finished writing
+/// the slab, and no worker overwrites it for the next `pc` before every
+/// reader of the current one has joined.
+fn gemm_packed_shared<S: Scalar>(
+    alpha: S,
+    a: View<'_, S>,
+    b: View<'_, S>,
+    beta: S,
+    c: &mut [S],
+    threads: usize,
+) {
+    let Some((m, k, n)) = packed_preamble(&a, &b, alpha, beta, c) else {
+        return;
+    };
+    let nr = S::NR;
+    // One beta pass over C up front (the per-stripe pass of the baseline,
+    // hoisted: every (jc, pc) block below is a pure accumulation).
+    let beta_chunk = m.div_ceil(threads).max(1) * n;
+    parallel::for_each_chunk_mut(c, beta_chunk, |_, stripe| scale_stripe(stripe, beta));
+    let bp_len = NC.div_ceil(nr) * nr * KC;
+    parallel::with_shared_slab::<S, _, _>(bp_len, |bp| {
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                // Phase 1: cooperative pack. Each pool chunk fills one
+                // NR-wide panel; panels are disjoint slab slices.
+                let panels = nc.div_ceil(nr);
+                parallel::for_each_chunk_mut(&mut bp[..panels * nr * kc], nr * kc, |off, panel| {
+                    let pj = off / (nr * kc);
+                    pack_b_panel(&b, pc, jc + pj * nr, kc, nr.min(nc - pj * nr), panel);
+                });
+                // Phase 2: MC row blocks of C against the shared slab. MC is
+                // a multiple of both microkernel heights, so every chunk
+                // boundary is MR-aligned for every precision.
+                let bp_ro: &[S] = bp;
+                parallel::for_each_chunk_mut(c, MC * n, |off, stripe| {
+                    let r0 = off / n;
+                    let rows = stripe.len() / n;
+                    gemm_block_rows(alpha, &a, stripe, r0, rows, n, pc, kc, jc, nc, bp_ro);
+                });
+            }
+        }
+    });
+}
+
+/// Phase-2 unit of the shared-slab engine: accumulates the `(jc, pc)` cache
+/// block's contribution into the `rows x ldc` C stripe starting at global
+/// row `r0`, packing the stripe's A block into this thread's arena and
+/// reading the B panels from the shared slab.
+#[allow(clippy::too_many_arguments)] // mirrors the engine's loop variables 1:1
+fn gemm_block_rows<S: Scalar>(
+    alpha: S,
+    a: &View<'_, S>,
+    c: &mut [S],
+    r0: usize,
+    rows: usize,
+    ldc: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    bp: &[S],
+) {
+    let (mr, nr) = (S::MR, S::NR);
+    let ap_len = MC.div_ceil(mr) * mr * KC;
+    parallel::with_pack_buffers::<S, _, _>(ap_len, 0, |ap, _| {
+        for ic in (0..rows).step_by(MC) {
+            let mc = MC.min(rows - ic);
+            pack_a(a, r0 + ic, pc, mc, kc, ap);
+            for jr in (0..nc).step_by(nr) {
+                let nr_here = nr.min(nc - jr);
+                let b_panel = &bp[(jr / nr) * nr * kc..][..nr * kc];
+                for ir in (0..mc).step_by(mr) {
+                    let mr_here = mr.min(mc - ir);
+                    let a_panel = &ap[(ir / mr) * mr * kc..][..mr * kc];
+                    let c_off = (ic + ir) * ldc + jc + jr;
+                    if mr_here == mr && nr_here == nr {
+                        S::microkernel(kc, alpha, a_panel, b_panel, &mut c[c_off..], ldc);
+                    } else {
+                        debug_assert!(mr <= MAX_MR && mr * nr <= MAX_TILE);
+                        let mut tile = [S::ZERO; MAX_TILE];
+                        S::microkernel(kc, alpha, a_panel, b_panel, &mut tile, nr);
+                        for i in 0..mr_here {
+                            let src = &tile[i * nr..i * nr + nr_here];
+                            let dst = &mut c[c_off + i * ldc..][..nr_here];
+                            for (d, &s) in dst.iter_mut().zip(src) {
+                                *d += s;
+                            }
+                        }
+                    }
+                }
+            }
+        }
     });
 }
 

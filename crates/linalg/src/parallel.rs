@@ -1,41 +1,63 @@
-//! Scoped-thread helpers used by the blocked BLAS routines and kernel-matrix
-//! assembly.
+//! Data-parallel helpers for the blocked BLAS routines and kernel-matrix
+//! assembly, backed by the [`ep2_runtime`] persistent worker pool.
 //!
-//! We deliberately avoid a global thread pool: the workloads here are large,
-//! coarse-grained batches (GEMM row panels, kernel matrix row blocks), so
-//! spawning scoped threads per call is cheap relative to the work and keeps
-//! the crate dependency-light.
+//! Every entry point sizes itself from the runtime's thread-budget handle
+//! ([`ep2_runtime::current_threads`]): a call made under
+//! `ep2_runtime::with_budget(k, ..)` — e.g. inside a stream-producer stage
+//! task — fans out across at most `k` threads, so nested parallelism stays
+//! within the budget its caller was assigned instead of oversubscribing
+//! the machine.
 
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads to use, honouring the `EP2_NUM_THREADS`
-/// environment variable (useful to pin benchmarks), otherwise the number of
-/// available CPUs.
+/// Number of worker threads the current context may use: the runtime's
+/// active budget handle, resolved from `EP2_THREADS` (or the deprecated
+/// `EP2_NUM_THREADS` alias) or the available CPUs when no handle is set.
 pub fn num_threads() -> usize {
-    if let Ok(v) = std::env::var("EP2_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    ep2_runtime::current_threads()
 }
 
 thread_local! {
     /// Per-thread packing arena for the blocked GEMM (`crate::gemm`): one
     /// `(Vec<A-panel>, Vec<B-panel>)` pair per element type, grown on demand
-    /// and reused across calls so steady-state GEMMs allocate nothing. On
-    /// the worker threads spawned by [`for_each_chunk_mut`] the buffers are
-    /// reused across every block of one call (threads are scoped per call);
-    /// on the caller's thread — the single-threaded path — they persist for
-    /// the life of the thread.
+    /// and reused across calls so steady-state GEMMs allocate nothing. The
+    /// pool's workers are persistent, so the arenas now survive across GEMM
+    /// calls on every thread, not just the caller's.
     static PACK_ARENA: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+
+    /// Separate arena for the *shared* packed-B slab of the cooperative
+    /// GEMM: the slab is borrowed for the whole block loop while the
+    /// per-chunk tasks borrow [`PACK_ARENA`] for their A panels, so the two
+    /// must not share a `RefCell`.
+    static SLAB_ARENA: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+fn with_arena<T, R, F>(
+    cell: &RefCell<HashMap<TypeId, Box<dyn Any>>>,
+    a_len: usize,
+    b_len: usize,
+    f: F,
+) -> R
+where
+    T: Copy + Default + 'static,
+    F: FnOnce(&mut [T], &mut [T]) -> R,
+{
+    let mut map = cell.borrow_mut();
+    let entry = map
+        .entry(TypeId::of::<T>())
+        .or_insert_with(|| Box::new((Vec::<T>::new(), Vec::<T>::new())));
+    let (a, b) = entry
+        .downcast_mut::<(Vec<T>, Vec<T>)>()
+        .expect("arena entry type keyed by TypeId");
+    if a.len() < a_len {
+        a.resize(a_len, T::default());
+    }
+    if b.len() < b_len {
+        b.resize(b_len, T::default());
+    }
+    f(&mut a[..a_len], &mut b[..b_len])
 }
 
 /// Borrows this thread's two reusable packing buffers, sized to at least
@@ -51,26 +73,39 @@ where
     T: Copy + Default + 'static,
     F: FnOnce(&mut [T], &mut [T]) -> R,
 {
-    PACK_ARENA.with(|cell| {
-        let mut map = cell.borrow_mut();
-        let entry = map
-            .entry(TypeId::of::<T>())
-            .or_insert_with(|| Box::new((Vec::<T>::new(), Vec::<T>::new())));
-        let (a, b) = entry
-            .downcast_mut::<(Vec<T>, Vec<T>)>()
-            .expect("arena entry type keyed by TypeId");
-        if a.len() < a_len {
-            a.resize(a_len, T::default());
-        }
-        if b.len() < b_len {
-            b.resize(b_len, T::default());
-        }
-        f(&mut a[..a_len], &mut b[..b_len])
-    })
+    PACK_ARENA.with(|cell| with_arena(cell, a_len, b_len, f))
+}
+
+/// Borrows this thread's reusable shared-slab buffer (the cooperative
+/// GEMM's packed-B block), sized to at least `len` elements. Distinct from
+/// [`with_pack_buffers`] so a worker packing its A panel inside the slab's
+/// borrow never re-enters the same `RefCell`.
+///
+/// # Panics
+///
+/// Panics if called re-entrantly from inside `f` on the same thread.
+pub fn with_shared_slab<T, R, F>(len: usize, f: F) -> R
+where
+    T: Copy + Default + 'static,
+    F: FnOnce(&mut [T]) -> R,
+{
+    SLAB_ARENA.with(|cell| with_arena(cell, len, 0, |slab, _| f(slab)))
+}
+
+/// `*mut T` that may be shared across the pool's workers; soundness comes
+/// from the chunk math handing every worker a disjoint slice. (Accessed
+/// through a method so closures capture the wrapper, not the raw field.)
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 /// Splits `data` into contiguous chunks of at most `chunk_len` elements and
-/// processes them on `num_threads()` scoped threads.
+/// processes them on the worker pool, up to [`num_threads`] participants
+/// (the caller included).
 ///
 /// The closure receives `(start_index, chunk)` where `start_index` is the
 /// offset of the chunk within `data`.
@@ -84,77 +119,34 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = data.len();
     let threads = num_threads();
-    if threads == 1 || data.len() <= chunk_len {
+    if threads == 1 || len <= chunk_len {
         for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
             f(c * chunk_len, chunk);
         }
         return;
     }
-    let next = AtomicUsize::new(0);
-    let total_chunks = data.len().div_ceil(chunk_len);
-    // Collect raw chunk descriptors up front so each worker can claim chunks
-    // through the atomic counter (work stealing by index).
-    let chunks: Vec<(usize, &mut [T])> = {
-        let mut v = Vec::with_capacity(total_chunks);
-        let mut rest = data;
-        let mut off = 0;
-        while !rest.is_empty() {
-            let take = chunk_len.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            v.push((off, head));
-            off += take;
-            rest = tail;
-        }
-        v
-    };
-    // Wrap each chunk in a Mutex-free cell: each index is claimed exactly once.
-    type ChunkCell<'a, T> = std::sync::Mutex<Option<(usize, &'a mut [T])>>;
-    let cells: Vec<ChunkCell<'_, T>> = chunks
-        .into_iter()
-        .map(|c| std::sync::Mutex::new(Some(c)))
-        .collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(total_chunks) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= cells.len() {
-                    break;
-                }
-                let taken = cells[idx].lock().unwrap().take();
-                if let Some((off, chunk)) = taken {
-                    f(off, chunk);
-                }
-            });
-        }
+    let total_chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    ep2_runtime::parallel_for(total_chunks, threads, |ci| {
+        let start = ci * chunk_len;
+        let take = chunk_len.min(len - start);
+        // SAFETY: chunk `ci` covers exactly `[start, start + take)`; chunks
+        // are disjoint and within `data`, and `parallel_for` joins before
+        // `data`'s borrow ends.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(start), take) };
+        f(start, chunk);
     });
 }
 
-/// Runs `f(i)` for every `i in 0..n` across `num_threads()` scoped threads,
-/// claiming indices through an atomic counter.
+/// Runs `f(i)` for every `i in 0..n` across up to [`num_threads`] pool
+/// participants, claiming indices through the job's atomic cursor.
 pub fn for_each_index<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    let threads = num_threads().min(n.max(1));
-    if threads <= 1 {
-        for i in 0..n {
-            f(i);
-        }
-        return;
-    }
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                f(i);
-            });
-        }
-    });
+    ep2_runtime::parallel_for(n, num_threads(), f);
 }
 
 /// Maps `f` over `0..n` in parallel and collects the results in order.
@@ -178,6 +170,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn chunks_cover_everything() {
@@ -194,20 +187,34 @@ mod tests {
 
     #[test]
     fn chunks_single_thread_path() {
-        std::env::set_var("EP2_NUM_THREADS", "1");
-        let mut v = vec![0_u8; 10];
-        for_each_chunk_mut(&mut v, 3, |_, c| {
-            for x in c {
-                *x = 1;
+        ep2_runtime::with_budget(1, || {
+            let mut v = vec![0_u8; 10];
+            for_each_chunk_mut(&mut v, 3, |_, c| {
+                for x in c {
+                    *x = 1;
+                }
+            });
+            assert!(v.iter().all(|&x| x == 1));
+        });
+    }
+
+    #[test]
+    fn chunks_under_explicit_budget() {
+        ep2_runtime::with_budget(3, || {
+            let mut v = vec![0_u32; 501];
+            for_each_chunk_mut(&mut v, 16, |off, chunk| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = (off + i) as u32;
+                }
+            });
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(x, i as u32);
             }
         });
-        std::env::remove_var("EP2_NUM_THREADS");
-        assert!(v.iter().all(|&x| x == 1));
     }
 
     #[test]
     fn for_each_index_counts() {
-        use std::sync::atomic::AtomicU64;
         let sum = AtomicU64::new(0);
         for_each_index(100, |i| {
             sum.fetch_add(i as u64, Ordering::Relaxed);
@@ -225,6 +232,11 @@ mod tests {
     #[test]
     fn num_threads_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn num_threads_follows_budget_handle() {
+        ep2_runtime::with_budget(2, || assert_eq!(num_threads(), 2));
     }
 
     #[test]
@@ -246,6 +258,19 @@ mod tests {
         with_pack_buffers::<f64, _, _>(8, 8, |a, b| {
             assert_eq!(a.len(), 8);
             assert_eq!(b.len(), 8);
+        });
+    }
+
+    #[test]
+    fn shared_slab_is_independent_of_pack_arena() {
+        // The slab may be held while a pack-buffer borrow happens on the
+        // same thread — this nesting is exactly the cooperative GEMM's
+        // caller-runs-a-chunk case.
+        with_shared_slab::<f64, _, _>(64, |slab| {
+            assert_eq!(slab.len(), 64);
+            with_pack_buffers::<f64, _, _>(16, 0, |a, _| {
+                assert_eq!(a.len(), 16);
+            });
         });
     }
 }

@@ -20,7 +20,7 @@
 //! a length-`k` product accumulation (the packed kernel's blocked summation
 //! and FMA only tighten it), plus a few ulps for the `α`/`β` combination.
 
-use ep2_linalg::gemm::{gemm_packed, View};
+use ep2_linalg::gemm::{gemm_packed, gemm_packed_perthread, View, KC, MC, NC};
 use ep2_linalg::{blas, Matrix, Scalar};
 
 fn lcg_matrix<S: Scalar>(rows: usize, cols: usize, seed: u64) -> Matrix<S> {
@@ -294,6 +294,87 @@ fn gemv_sweep<S: Scalar>(transposed: bool) {
                 }
             }
         }
+    }
+}
+
+/// Pins the cooperative shared-slab engine against the per-thread-packing
+/// baseline **bit-for-bit** across microkernel-edge shapes and 1/2/N
+/// thread budgets: the per-entry accumulation order (ascending-`pc` KC
+/// slabs, one register-tile accumulation each) must be invariant to who
+/// packs B and which worker sweeps which rows.
+fn shared_slab_sweep<S: Scalar>() {
+    // Shapes crossing every boundary at once: MR/NR tails, the MC row
+    // block, the KC slab, and (for n) the NC column block so a multi-NR
+    // cooperative fill happens.
+    let shapes: [(usize, usize, usize); 6] = [
+        (1, 1, 1),
+        (S::MR + 1, 2 * KC + 5, S::NR + 1),
+        (MC - 1, KC + 1, 2 * S::NR + 3),
+        (MC + 3, 67, NC + 7),
+        (2 * MC + 5, KC - 3, S::NR),
+        (97, 257, 130),
+    ];
+    let pairs = [(1.0, 0.0), (0.5, -1.0), (-1.0, 1.0)];
+    for &(m, k, n) in &shapes {
+        let a = lcg_matrix::<S>(m, k, 7);
+        let b = lcg_matrix::<S>(k, n, 13);
+        let c0 = lcg_matrix::<S>(m, n, 17);
+        for &(alpha, beta) in &pairs {
+            let (sa, sb) = (S::from_f64(alpha), S::from_f64(beta));
+            let run = |budget: usize, perthread: bool| {
+                ep2_runtime::with_budget(budget, || {
+                    let mut c = c0.clone();
+                    let (av, bv) = (
+                        View::row_major(a.as_slice(), m, k),
+                        View::row_major(b.as_slice(), k, n),
+                    );
+                    if perthread {
+                        gemm_packed_perthread(sa, av, bv, sb, c.as_mut_slice());
+                    } else {
+                        gemm_packed(sa, av, bv, sb, c.as_mut_slice());
+                    }
+                    c
+                })
+            };
+            // The per-thread engine at budget 1 is the PR 2 reference path.
+            let reference = run(1, true);
+            for budget in [1usize, 2, 5] {
+                for perthread in [false, true] {
+                    let got = run(budget, perthread);
+                    assert_eq!(
+                        got.as_slice(),
+                        reference.as_slice(),
+                        "{} ({m},{k},{n}) alpha={alpha} beta={beta} budget={budget} \
+                         perthread={perthread}: shared-slab engine must be bit-for-bit",
+                        S::NAME,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_slab_matches_perthread_bitwise_f32() {
+    shared_slab_sweep::<f32>();
+}
+
+#[test]
+fn shared_slab_matches_perthread_bitwise_f64() {
+    shared_slab_sweep::<f64>();
+}
+
+/// The full NN sweep again, but under explicit 2- and 5-thread budget
+/// handles, so the cooperative-packing path (not just the budget-1 inline
+/// path) is pinned against the naive f64 reference on every
+/// microkernel-edge shape.
+#[test]
+fn gemm_nn_matches_reference_under_thread_budgets() {
+    for budget in [2usize, 5] {
+        ep2_runtime::with_budget(budget, || {
+            sweep::<f32>(Variant::Nn);
+            sweep::<f64>(Variant::Nn);
+        });
     }
 }
 

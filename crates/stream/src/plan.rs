@@ -1,6 +1,7 @@
 //! The tiling planner: how an `m x n` kernel block is cut into ring tiles.
 
 use ep2_device::batch::{self, StreamedBatchPlan};
+use ep2_device::cost::{self, StreamThreadPlan};
 use ep2_device::Precision;
 use std::ops::Range;
 
@@ -27,6 +28,13 @@ pub struct BlockPlan {
     pub tiles_in_flight: usize,
     /// Precision whose slot factor the ledger charges.
     pub precision: Precision,
+    /// How the pipeline splits the core budget: producer count plus the
+    /// thread-budget handles for each producer's assembly GEMM and the
+    /// consumer's update. Defaulted from the overlap model at construction
+    /// (with the deprecated `EP2_STREAM_PRODUCERS` env override applied);
+    /// the trainer replaces it with the full-shape partition from
+    /// `autotune::plan_streamed` via [`BlockPlan::with_stream_threads`].
+    pub threads: StreamThreadPlan,
 }
 
 impl BlockPlan {
@@ -51,6 +59,7 @@ impl BlockPlan {
             n_tile: splan.n_tile,
             tiles_in_flight: splan.tiles_in_flight,
             precision,
+            threads: default_threads(n, d, l, splan.m, splan.n_tile),
         };
         plan.validate();
         plan
@@ -78,9 +87,24 @@ impl BlockPlan {
             n_tile: n_tile.min(n),
             tiles_in_flight,
             precision,
+            threads: default_threads(n, d, l, m, n_tile.min(n)),
         };
         plan.validate();
         plan
+    }
+
+    /// Replaces the thread partition (the trainer installs the full-shape
+    /// partition computed by `autotune::plan_streamed` here).
+    pub fn with_stream_threads(mut self, threads: StreamThreadPlan) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Pins the producer count, keeping each producer's per-task budget.
+    /// Test/bench convenience for exercising a specific pipeline width.
+    pub fn with_producers(mut self, producers: usize) -> Self {
+        self.threads.producers = producers.max(1);
+        self
     }
 
     fn validate(&self) {
@@ -131,6 +155,28 @@ impl BlockPlan {
             self.tiles_in_flight,
         ) * self.precision.slot_factor()
     }
+}
+
+/// The construction-time thread partition: the overlap model over the
+/// plan's shape (the setup terms are unknown here, so `s = q = 0`; the
+/// trainer refines the partition via [`BlockPlan::with_stream_threads`])
+/// under the runtime's current budget, with the deprecated
+/// `EP2_STREAM_PRODUCERS` env var honoured as a producer override.
+fn default_threads(n: usize, d: usize, l: usize, m: usize, n_tile: usize) -> StreamThreadPlan {
+    let shape = cost::ProblemShape {
+        n,
+        m,
+        d,
+        l,
+        s: 0,
+        q: 0,
+    };
+    cost::partition_stream_threads(
+        &shape,
+        n_tile.max(1),
+        ep2_runtime::current_threads(),
+        crate::producer_override(),
+    )
 }
 
 #[cfg(test)]
