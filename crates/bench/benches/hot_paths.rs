@@ -14,7 +14,7 @@ use ep2_core::{KernelModel, Preconditioner};
 use ep2_data::catalog;
 use ep2_device::ResourceSpec;
 use ep2_kernels::{matrix as kmat, GaussianKernel, Kernel, KernelKind};
-use ep2_linalg::{blas, eigen, Matrix};
+use ep2_linalg::{blas, eigen, Matrix, Scalar as _};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -161,6 +161,36 @@ fn bench_gemm_packed_vs_seed(_c: &mut Criterion) {
              \"f32_over_f64_packed\": {:.2}, \"f32_over_f64_seed\": {:.2}}}",
             packed64 / packed32,
             seed64 / seed32
+        ));
+        // bf16 storage through the same packed engine: panels widen to f32
+        // at pack time, so the FMA loop is f32's — the acceptance claim is
+        // throughput within ~10% of f32 at half the operand bytes. (No
+        // seed-axpy comparison: element-wise software bf16 is not a path
+        // any hot loop takes.)
+        let a_bf: Matrix<ep2_linalg::Bf16> = a64.cast();
+        let b_bf: Matrix<ep2_linalg::Bf16> = b64.cast();
+        let mut c_bf = Matrix::<ep2_linalg::Bf16>::zeros(n, n);
+        let packed_bf = time_min(samples, || {
+            blas::gemm(
+                ep2_linalg::Bf16::ONE,
+                &a_bf,
+                &b_bf,
+                ep2_linalg::Bf16::ZERO,
+                &mut c_bf,
+            )
+        });
+        println!(
+            "bench gemm_packed/{n}/bf16  packed {packed_bf:.3}s ({:.1} Gflop/s)  \
+             of f32 throughput {:.2}x",
+            rate(n, packed_bf),
+            packed32 / packed_bf
+        );
+        records.push(format!(
+            "    {{\"op\": \"gemm\", \"n\": {n}, \"precision\": \"bf16\", \
+             \"packed_s\": {packed_bf:.4}, \"packed_gflops\": {:.2}, \
+             \"bf16_over_f32_packed_throughput\": {:.3}}}",
+            rate(n, packed_bf),
+            packed32 / packed_bf
         ));
     }
     write_bench_json(&records);
@@ -359,6 +389,81 @@ fn bench_streamed_epoch(_c: &mut Criterion) {
             t_streamed / t_planned
         ),
     ]);
+}
+
+/// The bf16 half-storage acceptance bench: one streamed epoch at f32 vs one
+/// at bf16 whose tile is exactly doubled — the bf16 ring then charges the
+/// *same* ledger slots (half-width elements, twice the columns), so equal
+/// `S_G` streams kernel blocks in half the tiles. Records tile widths, slot
+/// budgets and the throughput ratio in `BENCH_stream.json`.
+fn bench_streamed_bf16_tile(_c: &mut Criterion) {
+    use ep2_device::Precision;
+    use ep2_linalg::{Bf16, Scalar};
+    use ep2_stream::{BlockPlan, StreamEngine};
+
+    let (n, m, n_tile32) = if criterion::smoke_mode() {
+        (512, 128, 96)
+    } else {
+        (6_000, 512, 768)
+    };
+    let data = catalog::timit_like_small_labels(n, 16, 3);
+
+    fn epoch<S: Scalar>(
+        data: &ep2_data::Dataset,
+        m: usize,
+        n_tile: usize,
+        precision: Precision,
+    ) -> (f64, f64, f64) {
+        let n = data.features.rows();
+        let (d, l) = (data.dim(), data.n_classes);
+        let kernel: Arc<dyn Kernel<S>> = KernelKind::Gaussian.with_bandwidth_in::<S>(8.0).into();
+        let features: ep2_linalg::Matrix<S> = data.features.cast();
+        let targets: ep2_linalg::Matrix<S> = data.targets.cast();
+        let batches: Vec<Vec<usize>> = (0..n)
+            .step_by(m)
+            .map(|b0| (b0..(b0 + m).min(n)).collect())
+            .collect();
+        let batch_refs: Vec<&[usize]> = batches.iter().map(Vec::as_slice).collect();
+        // Single producer pins the PR 3 double-buffered baseline shape so
+        // the f32/bf16 comparison varies only in the storage width.
+        let plan = BlockPlan::new(n, d, l, m, n_tile, 3, precision).with_producers(1);
+        let total = plan.total_slots();
+        let ledger = ep2_device::MemoryLedger::new(total * 1.05);
+        let model = KernelModel::zeros(kernel.clone(), features, l);
+        let mut it = EigenProIteration::new(model, None, 1.0);
+        let centers = it.model().centers_shared();
+        let mut engine = StreamEngine::new(kernel, centers, plan, &ledger).unwrap();
+        let secs = time_min(2, || {
+            engine.run_epoch(&batch_refs, |bi, tiles| {
+                it.step_streamed(batch_refs[bi], &targets, tiles);
+            });
+        });
+        (secs, total, ledger.peak_slots())
+    }
+
+    let (t32, slots32, _peak32) = epoch::<f32>(&data, m, n_tile32, Precision::F32);
+    // Doubled tile at half the slot width: same ring charge, half the
+    // static charge — never more ledger slots than the f32 plan.
+    let n_tile_bf = 2 * n_tile32;
+    let (t_bf, slots_bf, peak_bf) = epoch::<Bf16>(&data, m, n_tile_bf, Precision::Bf16);
+    assert!(
+        slots_bf <= slots32,
+        "bf16 plan must not exceed the f32 slot budget: {slots_bf} vs {slots32}"
+    );
+    println!(
+        "bench streamed_bf16 n={n} m={m}: f32 tile {n_tile32} ({slots32:.3e} slots) \
+         {t32:.3}s | bf16 tile {n_tile_bf} ({slots_bf:.3e} slots) {t_bf:.3}s \
+         ({:.0}% of f32 throughput, peak {peak_bf:.3e})",
+        t32 / t_bf * 100.0
+    );
+    write_stream_json(&[format!(
+        "    {{\"op\": \"streamed_epoch_bf16_tile\", \"n\": {n}, \"m\": {m}, \
+         \"f32_n_tile\": {n_tile32}, \"bf16_n_tile\": {n_tile_bf}, \
+         \"f32_slots\": {slots32:.4e}, \"bf16_slots\": {slots_bf:.4e}, \
+         \"f32_s\": {t32:.4}, \"bf16_s\": {t_bf:.4}, \
+         \"bf16_over_f32_throughput\": {:.3}, \"bf16_peak_slots\": {peak_bf:.4e}}}",
+        t32 / t_bf
+    )]);
 }
 
 /// The unified-runtime acceptance bench: the shared packed-B GEMM against
@@ -607,6 +712,7 @@ criterion_group!(
     bench_assembly_packed,
     bench_epoch_time,
     bench_streamed_epoch,
+    bench_streamed_bf16_tile,
     bench_eigensolver,
     bench_training_iterations,
     bench_f32_kernel_row,

@@ -1,6 +1,6 @@
 //! Extension (paper Section 6): multi-GPU scaling.
 //!
-//! "Going beyond [10⁷] to 10⁸ or more data points using multi-GPU setups is
+//! "Going beyond \[10⁷\] to 10⁸ or more data points using multi-GPU setups is
 //! the next natural step for kernel methods." This harness exercises the
 //! data-parallel decomposition in `ep2_core::distributed` and the cluster
 //! timing model in `ep2_device::cluster`:

@@ -10,7 +10,7 @@
 //! i.e. the CPU plays the paper's "sequential machine" role, while the
 //! simulated device reproduces the GPU curve.
 //!
-//! `--precision f32|f64|mixed` selects the numeric precision of the
+//! `--precision f32|f64|mixed|bf16` selects the numeric precision of the
 //! measured column (simulated curves are precision-independent operation
 //! counts; `mixed` executes the hot loop in f32 like the trainer does).
 
@@ -93,5 +93,6 @@ fn main() {
     match precision {
         Precision::F64 => run::<f64>(precision),
         Precision::F32 | Precision::Mixed => run::<f32>(precision),
+        Precision::Bf16 => run::<ep2_linalg::Bf16>(precision),
     }
 }

@@ -86,7 +86,11 @@ fn measured_section<S: Scalar>() {
     // Improved EigenPro. Operation counts are precision-independent; running
     // the measured section at f32 verifies the counters (and the iteration
     // itself) under the paper's GPU precision.
-    let precond = Preconditioner::fit_damped(&kernel, &features, s, q, 0.95, 1).unwrap();
+    // The iteration holds the preconditioner at the GEMM compute precision
+    // (identical to `S` for the native floats; f32 under bf16 storage).
+    let precond = Preconditioner::fit_damped(&kernel, &features, s, q, 0.95, 1)
+        .unwrap()
+        .cast::<S::Compute>();
     let model = KernelModel::zeros(kernel.clone(), features, l);
     let mut it = EigenProIteration::new(model, Some(precond), 1.0);
     let batch: Vec<usize> = (0..m).collect();
@@ -130,5 +134,6 @@ fn main() {
     match precision {
         Precision::F64 => measured_section::<f64>(),
         Precision::F32 | Precision::Mixed => measured_section::<f32>(),
+        Precision::Bf16 => measured_section::<ep2_linalg::Bf16>(),
     }
 }

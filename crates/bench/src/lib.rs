@@ -24,7 +24,7 @@
 
 use std::fmt::Write as _;
 
-/// Parses `--precision <f32|f64|mixed>` (or `--precision=<p>`) from the
+/// Parses `--precision <f32|f64|mixed|bf16>` (or `--precision=<p>`) from the
 /// process arguments; defaults to [`ep2_device::Precision::F64`] (the
 /// library's historical behaviour). Every harness binary accepts this flag
 /// so each paper table/figure regenerates under the paper's f32
@@ -41,7 +41,9 @@ pub fn precision_from_args() -> ep2_device::Precision {
         } else if arg == "--precision" {
             Some(
                 args.get(i + 1)
-                    .unwrap_or_else(|| panic!("--precision needs a value (f32 | f64 | mixed)"))
+                    .unwrap_or_else(|| {
+                        panic!("--precision needs a value (f32 | f64 | mixed | bf16)")
+                    })
                     .clone(),
             )
         } else {

@@ -23,6 +23,12 @@
 use ep2_linalg::{blas, Matrix, Scalar};
 
 use crate::counter::FlopCounter;
+
+/// Widens the `m x l` residual into the compute precision (borrow-free: it
+/// is a tiny matrix, copied once per step only when preconditioning).
+fn widen_residual<S: Scalar>(g: &Matrix<S>) -> Matrix<S::Compute> {
+    Matrix::from_fn(g.rows(), g.cols(), |i, j| g[(i, j)].compute())
+}
 use crate::model::KernelModel;
 use crate::precond::Preconditioner;
 
@@ -30,12 +36,20 @@ use crate::precond::Preconditioner;
 /// the training set, generic over the numeric precision `S`.
 ///
 /// The step size `η` is kept in `f64` regardless of `S` — it is an analytic
-/// spectral quantity (see `ep2_device::Precision`) — and converted to `S`
-/// once per step when scaling the residual.
+/// spectral quantity (see `ep2_device::Precision`) — and converted once per
+/// step when scaling the residual. The preconditioner lives at the GEMM
+/// compute precision `S::Compute` (identical to `S` for the native floats):
+/// its correction `V D Vᵀ` damps the top eigendirections through near-exact
+/// cancellation, so quantising the eigenvectors to a storage-only format
+/// like bf16 would leak un-damped top-eigenvalue mass and push the
+/// analytically-stepped iteration over the stability edge — while the
+/// buffers involved are `s x q`, a rounding error of the kernel blocks'
+/// footprint. Storage stays `S`; only Φ (gathered per batch) and the
+/// residual are widened for the correction products.
 #[derive(Debug)]
 pub struct EigenProIteration<S: Scalar = f64> {
     model: KernelModel<S>,
-    precond: Option<Preconditioner<S>>,
+    precond: Option<Preconditioner<S::Compute>>,
     eta: f64,
     counter: FlopCounter,
 }
@@ -46,7 +60,11 @@ impl<S: Scalar> EigenProIteration<S> {
     /// # Panics
     ///
     /// Panics if `eta` is not positive and finite.
-    pub fn new(model: KernelModel<S>, precond: Option<Preconditioner<S>>, eta: f64) -> Self {
+    pub fn new(
+        model: KernelModel<S>,
+        precond: Option<Preconditioner<S::Compute>>,
+        eta: f64,
+    ) -> Self {
         assert!(eta > 0.0 && eta.is_finite(), "step size must be positive");
         EigenProIteration {
             model,
@@ -117,15 +135,16 @@ impl<S: Scalar> EigenProIteration<S> {
         let f = self.model.predict_from_kernel_block(&k_block);
 
         // Φ: gather the subsample columns of the batch kernel block
-        // (k(x_r_j, x_t_i) already computed in Step 2).
+        // (k(x_r_j, x_t_i) already computed in Step 2), widened to the
+        // compute precision the preconditioner operates at.
         let phi = self.precond.as_ref().map(|precond| {
             let sub_idx = precond.subsample_indices();
-            let mut phi: Matrix<S> = Matrix::zeros(m, precond.s());
+            let mut phi: Matrix<S::Compute> = Matrix::zeros(m, precond.s());
             for bi in 0..m {
                 let src = k_block.row(bi);
                 let dst = phi.row_mut(bi);
                 for (j, &cj) in sub_idx.iter().enumerate() {
-                    dst[j] = src[cj];
+                    dst[j] = src[cj].compute();
                 }
             }
             phi
@@ -166,7 +185,8 @@ impl<S: Scalar> EigenProIteration<S> {
             .as_ref()
             .map(|p| p.subsample_indices().to_vec())
             .unwrap_or_default();
-        let mut phi: Option<Matrix<S>> = self.precond.as_ref().map(|p| Matrix::zeros(m, p.s()));
+        let mut phi: Option<Matrix<S::Compute>> =
+            self.precond.as_ref().map(|p| Matrix::zeros(m, p.s()));
         let mut covered = 0usize;
         for tile in tiles {
             let range = tile.col_range();
@@ -188,7 +208,7 @@ impl<S: Scalar> EigenProIteration<S> {
                     if range.contains(&cj) {
                         let local = cj - range.start;
                         for bi in 0..m {
-                            phi[(bi, j)] = tile.block()[(bi, local)];
+                            phi[(bi, j)] = tile.block()[(bi, local)].compute();
                         }
                     }
                 }
@@ -208,7 +228,7 @@ impl<S: Scalar> EigenProIteration<S> {
         batch_indices: &[usize],
         y: &Matrix<S>,
         f: Matrix<S>,
-        phi: Option<Matrix<S>>,
+        phi: Option<Matrix<S::Compute>>,
     ) -> f64 {
         let n = self.model.n_centers();
         let l = self.model.n_outputs();
@@ -240,17 +260,21 @@ impl<S: Scalar> EigenProIteration<S> {
         let sgd_ops = (n * m * (d + l)) as f64;
         let mut precond_ops = 0.0;
 
-        // Steps 4–5: preconditioner correction on the fixed block.
+        // Steps 4–5: preconditioner correction on the fixed block, run
+        // entirely at the compute precision (the residual is widened, the
+        // weight update narrows once per touched entry).
         if let Some(precond) = &self.precond {
             let phi = phi.expect("phi gathered whenever a preconditioner is set");
             let sub_idx = precond.subsample_indices();
-            let correction = precond.apply_correction(&phi, &g);
+            let g_c: Matrix<S::Compute> = widen_residual(&g);
+            let correction = precond.apply_correction(&phi, &g_c);
             precond_ops = precond.correction_ops(m, l);
+            let scale_c = S::Compute::from_f64(self.eta * 2.0 / m as f64);
             for (j, &idx) in sub_idx.iter().enumerate() {
                 let c_row = correction.row(j);
                 let w_row = self.model.weights_mut().row_mut(idx);
                 for (w, &cv) in w_row.iter_mut().zip(c_row) {
-                    *w += scale * cv;
+                    *w = S::from_compute(w.compute() + scale_c * cv);
                 }
             }
         }

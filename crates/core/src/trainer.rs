@@ -22,6 +22,16 @@
 //!   f32 for the hot loop (its spectral scalars are `f64` on both sides, so
 //!   the analytic parameters transfer verbatim). Per-epoch error metrics
 //!   accumulate in f64 under every mode.
+//! - **`Bf16`**: the half-storage extension of `Mixed` — plan at f64,
+//!   store at bfloat16, compute at f32. Kernel blocks, streamed tile rings,
+//!   features and weights live in 2-byte bf16 (`slot_factor = 0.5`: the
+//!   memory-limited batch `m^S_G` and the streamed `n_tile` double vs f32
+//!   at equal `S_G`), while every packed-GEMM register tile widens its
+//!   panels to f32 at pack time (`Scalar::Compute`) and error-sensitive
+//!   reductions accumulate in f32 (`Scalar::Accum`), so the hot loop runs
+//!   at f32 FMA speed over half the bytes. Each *stored* value carries
+//!   bf16's `2^-8` relative rounding — see the README's rounding-error
+//!   model and `tests/precision.rs` for the enforced divergence bounds.
 //!
 //! Whatever the policy, [`TrainOutcome::model`] is returned in f64 so
 //! persistence and downstream evaluation are precision-agnostic.
@@ -44,6 +54,27 @@ use crate::autotune::{self, AutoParams};
 use crate::iteration::EigenProIteration;
 use crate::model::KernelModel;
 use crate::CoreError;
+
+/// Spectral margin added to the planned `λ₁(K_G)` when executing under
+/// [`Precision::Bf16`]: the spectral estimates come from the f64 plan, but
+/// the executed kernel blocks carry bf16 storage rounding — a perturbation
+/// `E` with `|E_ij| ≤ u·|K_ij| ≤ u` (`u = 2^-8`, kernel values in (0, 1]),
+/// so the *normalised* operator the stability analysis runs on shifts by at
+/// most `‖E‖₂/n ≤ ‖E‖_F/n ≤ u`. The preconditioner cannot damp `E` (it is
+/// built from the exact spectrum), so the executed step size is re-derived
+/// as `η = m/(β_G + (m−1)(λ₁ + 4u))` — the factor 4 (empirical: 2u still
+/// drifts at memory-limited batches, 4u is smooth) covers the analysis
+/// running on mini-batch blocks rather than the full Gram matrix, and the
+/// second noise source the Frobenius bound misses: the *weights* are also
+/// bf16-stored, so every step re-injects `O(u·|w|)` quantisation noise
+/// that near-neutral directions (`η'λ ≈ 0`) integrate. This is
+/// self-scaling where a flat derate is not: at small batches
+/// `(m−1)·2u ≪ β_G` and η is essentially the analytic optimum, while at
+/// the memory-limited batches half-width storage unlocks (where
+/// `η*λ₁ → 1` with no margin, and a percent-level λ₁ shift demonstrably
+/// diverges — f32 at the same `m`/`η` converges) it backs η off by exactly
+/// the quantisation-noise share of the spectrum.
+pub const BF16_LAMBDA_MARGIN: f64 = 4.0 / 256.0;
 
 /// Early-stopping policy (the interpolation framework's regulariser —
 /// Yao–Rosasco–Caponnetto 2007, as adopted by the paper).
@@ -297,6 +328,7 @@ impl EigenPro2 {
             Precision::F64 => self.fit_typed::<f64>(features, targets, val, false),
             Precision::F32 => self.fit_typed::<f32>(features, targets, val, false),
             Precision::Mixed => self.fit_typed::<f32>(features, targets, val, true),
+            Precision::Bf16 => self.fit_typed::<ep2_linalg::Bf16>(features, targets, val, true),
         }
     }
 
@@ -415,9 +447,9 @@ impl EigenPro2 {
                         cfg.precision,
                         cfg.seed,
                     )?;
-                    (params, precond64.map(|p| p.cast::<S>()))
+                    (params, precond64.map(|p| p.cast::<S::Compute>()))
                 } else {
-                    autotune::plan(
+                    let (params, precond) = autotune::plan(
                         &kernel,
                         &features_s,
                         n_outputs,
@@ -427,7 +459,8 @@ impl EigenPro2 {
                         cfg.batch_size,
                         cfg.precision,
                         cfg.seed,
-                    )?
+                    )?;
+                    (params, precond.map(precond_into_compute))
                 }
             }
             Some(splan) => {
@@ -446,9 +479,9 @@ impl EigenPro2 {
                         cfg.precision,
                         cfg.seed,
                     )?;
-                    (params, precond64.map(|p| p.cast::<S>()))
+                    (params, precond64.map(|p| p.cast::<S::Compute>()))
                 } else {
-                    autotune::plan_streamed(
+                    let (params, precond) = autotune::plan_streamed(
                         &kernel,
                         &features_s,
                         n_outputs,
@@ -459,12 +492,29 @@ impl EigenPro2 {
                         requested_producers,
                         cfg.precision,
                         cfg.seed,
-                    )?
+                    )?;
+                    (params, precond.map(precond_into_compute))
                 }
             }
         };
         let m = params.m;
-        let eta = cfg.step_size.unwrap_or(params.eta);
+        // The analytic η sits on the stability edge: η* = m/(β_G + (m−1)λ₁)
+        // with λ₁ estimated from the f64 plan. Under bf16 the *executed*
+        // kernel blocks carry 2^-8-relative storage rounding the
+        // preconditioner cannot damp, so the executed step is re-derived
+        // with the quantisation margin [`BF16_LAMBDA_MARGIN`] added to λ₁.
+        // The reported plan keeps the analytic value (it is the f64 plan,
+        // transferred verbatim), an explicit `step_size` is always
+        // respected, and the divergence safeguard below remains the
+        // backstop.
+        let eta = cfg.step_size.unwrap_or(match cfg.precision {
+            Precision::Bf16 => crate::critical::optimal_step_size(
+                m,
+                params.beta_g,
+                params.lambda1_g + BF16_LAMBDA_MARGIN,
+            ),
+            _ => params.eta,
+        });
 
         // Enforce the Step-1 memory accounting on the device ledger, at the
         // slot width of the chosen precision (f64 elements cost two
@@ -695,6 +745,22 @@ impl<S: Scalar> Executor<S> {
                 });
             }
         }
+    }
+}
+
+/// Moves a freshly planned preconditioner to the GEMM compute precision the
+/// iteration holds it at — a free move for the native floats
+/// (`S::Compute == S`), a widening cast only under bf16 storage.
+fn precond_into_compute<S: Scalar>(
+    p: crate::Preconditioner<S>,
+) -> crate::Preconditioner<S::Compute> {
+    let boxed: Box<dyn Any> = Box::new(p);
+    match boxed.downcast::<crate::Preconditioner<S::Compute>>() {
+        Ok(same) => *same,
+        Err(boxed) => boxed
+            .downcast_ref::<crate::Preconditioner<S>>()
+            .expect("preconditioner has type Preconditioner<S>")
+            .cast(),
     }
 }
 

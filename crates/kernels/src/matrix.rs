@@ -26,10 +26,14 @@ pub fn kernel_cross<S: Scalar>(kernel: &dyn Kernel<S>, a: &Matrix<S>, b: &Matrix
 }
 
 /// Squared Euclidean norm of every row (the `‖x‖²` terms of the Gram
-/// expansion).
-pub fn row_sq_norms<S: Scalar>(x: &Matrix<S>) -> Vec<S> {
+/// expansion), accumulated **and kept** in [`Scalar::Accum`] precision:
+/// these are error-sensitive quantities (they meet a cancelling `−2 a·b`
+/// in the expansion below), so under narrow storage — f32, and especially
+/// bf16, whose ulp at a TIMIT-scale `‖x‖² ≈ 400` is ≈ 2 — they must not be
+/// rounded back to `S` before the subtraction happens.
+pub fn row_sq_norms<S: Scalar>(x: &Matrix<S>) -> Vec<S::Accum> {
     (0..x.rows())
-        .map(|i| ops::dot(x.row(i), x.row(i)))
+        .map(|i| ops::dot_wide(x.row(i), x.row(i)))
         .collect()
 }
 
@@ -39,8 +43,8 @@ fn kernel_cross_with_norms<S: Scalar>(
     kernel: &dyn Kernel<S>,
     a: &Matrix<S>,
     b: &Matrix<S>,
-    a_sq: &[S],
-    b_sq: &[S],
+    a_sq: &[S::Accum],
+    b_sq: &[S::Accum],
 ) -> Matrix<S> {
     let (n, m) = (a.rows(), b.rows());
     let mut k = Matrix::zeros(n, m);
@@ -68,8 +72,8 @@ pub fn kernel_cross_into<S: Scalar>(
     kernel: &dyn Kernel<S>,
     a: &Matrix<S>,
     b: &Matrix<S>,
-    a_sq: &[S],
-    b_sq: &[S],
+    a_sq: &[S::Accum],
+    b_sq: &[S::Accum],
     out: &mut Matrix<S>,
 ) {
     assert_eq!(a.cols(), b.cols(), "kernel_cross_into: feature dims differ");
@@ -82,14 +86,19 @@ pub fn kernel_cross_into<S: Scalar>(
     // -2 A B^T: the packed register-blocked `gemm_nt` (B^T is a stride swap
     // at packing time) — the dominant cost of assembly.
     blas::gemm_nt(S::from_f64(-2.0), a, b, S::ZERO, out);
-    // Element-wise radial profile, parallel over row chunks.
+    // Element-wise radial profile, parallel over row chunks. The squared
+    // distance is reassembled at Accum width — the norms never rounded to
+    // `S` — and narrows exactly once, going into the radial profile; under
+    // bf16 storage each stored entry therefore carries a handful of 2^-8
+    // relative roundings (see README, "Precision"), not an O(‖x‖²)-sized
+    // cancellation error.
     let cols = m;
     parallel::for_each_chunk_mut(out.as_mut_slice(), cols.max(1) * 64, |off, chunk| {
         for (local, v) in chunk.iter_mut().enumerate() {
             let idx = off + local;
             let (i, j) = (idx / cols, idx % cols);
-            let d2 = (a_sq[i] + b_sq[j] + *v).max(S::ZERO);
-            *v = kernel.of_sq_dist(d2);
+            let d2 = (a_sq[i] + b_sq[j] + v.accum()).max(S::Accum::ZERO);
+            *v = kernel.of_sq_dist(S::from_accum(d2));
         }
     });
 }

@@ -18,7 +18,20 @@
 //!   the innermost loop does unit-stride loads regardless of the operand's
 //!   original layout — which is also how the `A^T B` / `A B^T` variants cost
 //!   the same as the plain product: transposition is just a stride swap at
-//!   packing time (see [`View`]).
+//!   packing time (see [`View`]). Panels are written in the microkernel's
+//!   compute precision ([`crate::Scalar::Compute`]): a no-op copy for the
+//!   native floats, and the **pack-time widening** of `bf16` storage — each
+//!   16-bit element converts to f32 exactly once per cache-block reuse, so
+//!   the inner FMA loop runs at full f32 speed and only the `C`
+//!   write-back rounds to bf16. That write-back happens once per `KC`
+//!   slab of the shared dimension (the `pc` loop accumulates *through*
+//!   `C`), so a bf16 product carries `ceil(k/KC)` storage roundings per
+//!   entry — exactly one for `k ≤ KC = 256`, and an `O(u·sqrt(k/KC))`
+//!   rounding walk beyond that. Column-tiling (`predict_tiled`, the
+//!   streamed tile ring) caps `k` at the tile width; at `k/KC` approaching
+//!   `2^8` slab contributions start falling below one ulp of the running
+//!   partial and bf16 accumulation stalls (see `tests/precision.rs` for
+//!   the enforced per-slab bound).
 //! - **Register blocking**: the `MR x NR` accumulator tile
 //!   ([`crate::Scalar::microkernel`]; 6x16 for `f32`, 8x8 for `f64` — one
 //!   512-bit FMA accumulator per f32 row, 6-8 independent FMA chains to
@@ -120,7 +133,20 @@ impl<'a, S: Scalar> View<'a, S> {
 /// Packs the `mc x kc` block of `a` starting at `(i0, p0)` into MR-tall,
 /// k-major panels: `ap[panel][p*MR + i] = A[i0 + panel*MR + i, p0 + p]`,
 /// zero-padding rows past `mc` so edge tiles run the full microkernel.
-fn pack_a<S: Scalar>(a: &View<'_, S>, i0: usize, p0: usize, mc: usize, kc: usize, ap: &mut [S]) {
+///
+/// Panels are written in [`Scalar::Compute`] precision — for the native
+/// floats the conversion is the identity and the loops compile to plain
+/// copies; for `bf16` every element widens to f32 exactly **here**, once
+/// per cache-block reuse, so the microkernel's FMA loop never touches a
+/// 16-bit value.
+fn pack_a<S: Scalar>(
+    a: &View<'_, S>,
+    i0: usize,
+    p0: usize,
+    mc: usize,
+    kc: usize,
+    ap: &mut [S::Compute],
+) {
     let mr = S::MR;
     for (pi, panel) in ap[..mc.div_ceil(mr) * mr * kc]
         .chunks_exact_mut(mr * kc)
@@ -133,16 +159,16 @@ fn pack_a<S: Scalar>(a: &View<'_, S>, i0: usize, p0: usize, mc: usize, kc: usize
             for i in 0..mr {
                 let src = &a.data[(row_base + i) * a.rs + p0..][..kc];
                 for (p, &v) in src.iter().enumerate() {
-                    panel[p * mr + i] = v;
+                    panel[p * mr + i] = v.compute();
                 }
             }
         } else {
             for (p, dst) in panel.chunks_exact_mut(mr).enumerate() {
                 for (i, d) in dst.iter_mut().enumerate() {
                     *d = if i < rows_here {
-                        a.at(row_base + i, p0 + p)
+                        a.at(row_base + i, p0 + p).compute()
                     } else {
-                        S::ZERO
+                        S::Compute::ZERO
                     };
                 }
             }
@@ -152,8 +178,16 @@ fn pack_a<S: Scalar>(a: &View<'_, S>, i0: usize, p0: usize, mc: usize, kc: usize
 
 /// Packs the `kc x nc` block of `b` starting at `(p0, j0)` into NR-wide,
 /// k-major panels: `bp[panel][p*NR + j] = B[p0 + p, j0 + panel*NR + j]`,
-/// zero-padding columns past `nc`.
-fn pack_b<S: Scalar>(b: &View<'_, S>, p0: usize, j0: usize, kc: usize, nc: usize, bp: &mut [S]) {
+/// zero-padding columns past `nc`. Widens to [`Scalar::Compute`] like
+/// [`pack_a`].
+fn pack_b<S: Scalar>(
+    b: &View<'_, S>,
+    p0: usize,
+    j0: usize,
+    kc: usize,
+    nc: usize,
+    bp: &mut [S::Compute],
+) {
     let nr = S::NR;
     for (pj, panel) in bp[..nc.div_ceil(nr) * nr * kc]
         .chunks_exact_mut(nr * kc)
@@ -164,28 +198,32 @@ fn pack_b<S: Scalar>(b: &View<'_, S>, p0: usize, j0: usize, kc: usize, nc: usize
 }
 
 /// Packs one NR-wide, k-major B panel (`cols_here` valid columns starting
-/// at `col_base`, zero-padded to NR). The unit of work of the cooperative
-/// shared-slab fill: disjoint panels can be packed by different workers.
+/// at `col_base`, zero-padded to NR), widening to [`Scalar::Compute`]. The
+/// unit of work of the cooperative shared-slab fill: disjoint panels can be
+/// packed by different workers.
 fn pack_b_panel<S: Scalar>(
     b: &View<'_, S>,
     p0: usize,
     col_base: usize,
     kc: usize,
     cols_here: usize,
-    panel: &mut [S],
+    panel: &mut [S::Compute],
 ) {
     let nr = S::NR;
     if b.cs == 1 && cols_here == nr {
         for (p, dst) in panel[..nr * kc].chunks_exact_mut(nr).enumerate() {
-            dst.copy_from_slice(&b.data[(p0 + p) * b.rs + col_base..][..nr]);
+            let src = &b.data[(p0 + p) * b.rs + col_base..][..nr];
+            for (d, &v) in dst.iter_mut().zip(src) {
+                *d = v.compute();
+            }
         }
     } else {
         for (p, dst) in panel[..nr * kc].chunks_exact_mut(nr).enumerate() {
             for (j, d) in dst.iter_mut().enumerate() {
                 *d = if j < cols_here {
-                    b.at(p0 + p, col_base + j)
+                    b.at(p0 + p, col_base + j).compute()
                 } else {
-                    S::ZERO
+                    S::Compute::ZERO
                 };
             }
         }
@@ -220,7 +258,7 @@ fn gemm_stripe<S: Scalar>(
     let n = b.cols;
     let ap_len = MC.div_ceil(mr) * mr * KC;
     let bp_len = NC.div_ceil(nr) * nr * KC;
-    parallel::with_pack_buffers::<S, _, _>(ap_len, bp_len, |ap, bp| {
+    parallel::with_pack_buffers::<S::Compute, _, _>(ap_len, bp_len, |ap, bp| {
         for jc in (0..n).step_by(NC) {
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
@@ -283,16 +321,20 @@ fn gemm_small<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c: &
     let (m, n) = (a.rows, b.cols);
     let k = a.cols;
     assert_eq!(c.len(), m * n, "gemm: C buffer shape mismatch");
+    // Dot products run in the compute precision (identity for the native
+    // floats; f32 for bf16 storage), mirroring the packed engine's
+    // pack-time widening so both paths share one rounding model.
+    let (alpha_c, beta_c) = (alpha.compute(), beta.compute());
     for (i, c_row) in c.chunks_exact_mut(n.max(1)).enumerate().take(m) {
         for (j, cv) in c_row.iter_mut().enumerate() {
-            let mut acc = S::ZERO;
+            let mut acc = S::Compute::ZERO;
             for p in 0..k {
-                acc += a.at(i, p) * b.at(p, j);
+                acc += a.at(i, p).compute() * b.at(p, j).compute();
             }
             *cv = if beta == S::ZERO {
-                alpha * acc
+                S::from_compute(alpha_c * acc)
             } else {
-                alpha * acc + beta * *cv
+                S::from_compute(alpha_c * acc + beta_c * cv.compute())
             };
         }
     }
@@ -306,7 +348,7 @@ fn gemm_small<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c: &
 ///
 /// Under a thread budget of 1 the whole block loop runs inline on the
 /// caller; with more threads it dispatches to the cooperative shared-slab
-/// engine ([`gemm_packed_shared`] internally), which packs each B block
+/// engine (`gemm_packed_shared` internally), which packs each B block
 /// **once** into a slab all workers read instead of once per thread. Both
 /// paths — and the per-thread baseline [`gemm_packed_perthread`] — produce
 /// bit-for-bit identical results: the per-entry accumulation order (KC
@@ -402,7 +444,7 @@ fn gemm_packed_shared<S: Scalar>(
     let beta_chunk = m.div_ceil(threads).max(1) * n;
     parallel::for_each_chunk_mut(c, beta_chunk, |_, stripe| scale_stripe(stripe, beta));
     let bp_len = NC.div_ceil(nr) * nr * KC;
-    parallel::with_shared_slab::<S, _, _>(bp_len, |bp| {
+    parallel::with_shared_slab::<S::Compute, _, _>(bp_len, |bp| {
         for jc in (0..n).step_by(NC) {
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
@@ -417,7 +459,7 @@ fn gemm_packed_shared<S: Scalar>(
                 // Phase 2: MC row blocks of C against the shared slab. MC is
                 // a multiple of both microkernel heights, so every chunk
                 // boundary is MR-aligned for every precision.
-                let bp_ro: &[S] = bp;
+                let bp_ro: &[S::Compute] = bp;
                 parallel::for_each_chunk_mut(c, MC * n, |off, stripe| {
                     let r0 = off / n;
                     let rows = stripe.len() / n;
@@ -444,11 +486,11 @@ fn gemm_block_rows<S: Scalar>(
     kc: usize,
     jc: usize,
     nc: usize,
-    bp: &[S],
+    bp: &[S::Compute],
 ) {
     let (mr, nr) = (S::MR, S::NR);
     let ap_len = MC.div_ceil(mr) * mr * KC;
-    parallel::with_pack_buffers::<S, _, _>(ap_len, 0, |ap, _| {
+    parallel::with_pack_buffers::<S::Compute, _, _>(ap_len, 0, |ap, _| {
         for ic in (0..rows).step_by(MC) {
             let mc = MC.min(rows - ic);
             pack_a(a, r0 + ic, pc, mc, kc, ap);

@@ -63,7 +63,7 @@ pub mod subspace;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;
-pub use scalar::{cast_slice, Scalar};
+pub use scalar::{cast_slice, Bf16, Scalar};
 
 /// A symmetric linear operator `y = A x` on `R^n` over scalars `S`
 /// (default `f64`, so existing `dyn SymOp` bounds keep their meaning).

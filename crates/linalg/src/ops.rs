@@ -36,6 +36,24 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
+/// Dot product accumulated — and returned — in the wider [`Scalar::Accum`]
+/// type, for consumers that keep working at the accumulator precision
+/// (e.g. the kernel-assembly row norms, which stay `Accum`-width so bf16
+/// storage never rounds a `‖x‖²` that later meets a cancelling `−2x·z`).
+///
+/// # Panics
+///
+/// Panics if `x.len() != y.len()`.
+#[inline]
+pub fn dot_wide<S: Scalar>(x: &[S], y: &[S]) -> S::Accum {
+    assert_eq!(x.len(), y.len(), "dot_wide: length mismatch");
+    let mut acc = S::Accum::ZERO;
+    for (a, b) in x.iter().zip(y) {
+        acc += a.accum() * b.accum();
+    }
+    acc
+}
+
 /// Dot product accumulated in the wider [`Scalar::Accum`] type and rounded
 /// back to `S` — for reorthogonalisation and other places where f32
 /// cancellation error would compound structurally.
@@ -45,12 +63,7 @@ pub fn dot<S: Scalar>(x: &[S], y: &[S]) -> S {
 /// Panics if `x.len() != y.len()`.
 #[inline]
 pub fn dot_accum<S: Scalar>(x: &[S], y: &[S]) -> S {
-    assert_eq!(x.len(), y.len(), "dot_accum: length mismatch");
-    let mut acc = S::Accum::ZERO;
-    for (a, b) in x.iter().zip(y) {
-        acc += a.accum() * b.accum();
-    }
-    S::from_accum(acc)
+    S::from_accum(dot_wide(x, y))
 }
 
 /// `y <- a * x + y`.

@@ -10,9 +10,12 @@
 //!
 //! - [`BlockPlan`] — partitions the `m x n` kernel block into `m x n_tile`
 //!   tiles and sizes the ring so
-//!   `tiles_in_flight · (m + d) · n_tile + l·n + d·m` fits `S_G` at the
-//!   active precision (the `(m + d) · n_tile` per slot covers the kernel
-//!   panel *and* its staged feature slice).
+//!   `tiles_in_flight · (m + d) · n_tile + l·n + (tiles_in_flight − 1)·d·m`
+//!   fits `S_G` at the active precision (the `(m + d) · n_tile` per slot
+//!   covers the kernel panel *and* its staged feature slice; the
+//!   `(tiles_in_flight − 1)·d·m` term is one staged mini-batch feature
+//!   block per possible producer — see
+//!   `ep2_device::batch::streamed_slots`).
 //! - [`TileRing`] — the fixed set of recycled tile buffers, each charged
 //!   against the [`MemoryLedger`](ep2_device::MemoryLedger) for as long as
 //!   the ring lives, so the `S_G` audit covers the pipeline.

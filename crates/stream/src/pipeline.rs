@@ -40,7 +40,7 @@ struct Task {
 pub struct StreamEngine<S: Scalar> {
     kernel: Arc<dyn Kernel<S>>,
     centers: Arc<Matrix<S>>,
-    center_norms: Vec<S>,
+    center_norms: Vec<S::Accum>,
     plan: BlockPlan,
     ring: TileRing<S>,
     producers: usize,
@@ -89,10 +89,12 @@ impl<S: Scalar> StreamEngine<S> {
         // out-of-order tiles while the in-order producer still needs a free
         // buffer), so clamp.
         let producers = plan.threads.producers.min(plan.tiles_in_flight - 1).max(1);
-        // The budget formula charges one `d·m` batch block; every extra
-        // producer keeps its own staged copy, so charge the surplus too —
-        // the ledger's peak must reflect true residency, not the
-        // single-producer assumption.
+        // The budget formula reserves `(tiles_in_flight − 1)·d·m` staged
+        // batch blocks — the liveness-bound worst case — but the trainer's
+        // static guard holds only the first; every extra producer keeps its
+        // own staged copy, so charge the surplus here too. The ledger's
+        // peak must reflect true residency, not the single-producer
+        // assumption.
         let staging =
             if producers > 1 {
                 Some(ledger.alloc(
@@ -234,7 +236,7 @@ impl<S: Scalar> StreamEngine<S> {
     ) {
         let d = self.plan.d;
         // Batch features + their norms, cached across this batch's tiles.
-        let mut cached: Option<(usize, Matrix<S>, Vec<S>)> = None;
+        let mut cached: Option<(usize, Matrix<S>, Vec<S::Accum>)> = None;
         loop {
             // Blocking on an empty ring is the backpressure: assembly stalls
             // until the consumer recycles a buffer.

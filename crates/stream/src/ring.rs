@@ -9,7 +9,7 @@ use ep2_device::memory::Allocation;
 use ep2_device::{MemoryError, MemoryLedger};
 use ep2_linalg::{Matrix, Scalar};
 
-/// The fixed set of recycled tile buffers backing one [`StreamEngine`]
+/// The fixed set of recycled tile buffers backing one [`crate::StreamEngine`]
 /// (see [`crate::StreamEngine`]).
 ///
 /// Each buffer is charged against the device ledger at construction —

@@ -1,0 +1,17 @@
+//! Helpers shared by the integration-test binaries (not a test binary
+//! itself: `common/mod.rs` is compiled into each test that declares
+//! `mod common;`).
+
+use eigenpro2::device::Precision;
+
+/// Whether `EP2_TEST_PRECISION` (unset, or a comma-separated policy list)
+/// selects this policy — the hook the CI `precision-matrix` job drives to
+/// scope `tests/precision.rs` and `tests/streaming.rs` to one leg.
+pub fn precision_selected(p: Precision) -> bool {
+    match std::env::var("EP2_TEST_PRECISION") {
+        Ok(names) => names
+            .split(',')
+            .any(|n| Precision::parse(n.trim()) == Some(p)),
+        Err(_) => true,
+    }
+}
