@@ -161,12 +161,23 @@ impl<S: Scalar> KernelModel<S> {
         let m = x.rows();
         let l = self.n_outputs();
         let mut out = Matrix::zeros(m, l);
+        // Center-side norms once per call, shared by every row block.
+        let c_sq = kmat::row_sq_norms(&self.centers);
         let mut row0 = 0;
         while row0 < m {
             let rows = block_rows.min(m - row0);
             let block = x.submatrix(row0, 0, rows, x.cols());
-            // K_block: rows x n, then f = K_block · α.
-            let k_block = kmat::kernel_cross(self.kernel.as_ref(), &block, &self.centers);
+            // K_block: rows x n (fused assembly), then f = K_block · α.
+            let b_sq = kmat::row_sq_norms(&block);
+            let mut k_block = Matrix::zeros(rows, self.n_centers());
+            kmat::kernel_cross_into(
+                self.kernel.as_ref(),
+                &block,
+                &self.centers,
+                &b_sq,
+                &c_sq,
+                &mut k_block,
+            );
             let mut f_block = Matrix::zeros(rows, l);
             blas::gemm(S::ONE, &k_block, &self.weights, S::ZERO, &mut f_block);
             for i in 0..rows {
@@ -195,16 +206,33 @@ impl<S: Scalar> KernelModel<S> {
         let l = self.n_outputs();
         let m = x.rows();
         let mut out = Matrix::zeros(m, l);
+        // Center-side norms once per call (`kernel_cross` per tile would
+        // recompute them per (row-block, tile) pair), sliced per tile below;
+        // the Φ tile itself assembles through the fused-epilogue path into
+        // a buffer recycled across tiles.
+        let c_sq = kmat::row_sq_norms(&self.centers);
+        let mut k_tile = Matrix::zeros(block_rows.min(m).max(1), col_tile.min(n).max(1));
         let mut row0 = 0;
         while row0 < m {
             let rows = block_rows.min(m - row0);
             let block = x.submatrix(row0, 0, rows, x.cols());
+            let b_sq = kmat::row_sq_norms(&block);
             let mut f_block = Matrix::zeros(rows, l);
             let mut j0 = 0;
             while j0 < n {
                 let cols = col_tile.min(n - j0);
                 let c_tile = self.centers.submatrix(j0, 0, cols, self.dim());
-                let k_tile = kmat::kernel_cross(self.kernel.as_ref(), &block, &c_tile);
+                if k_tile.shape() != (rows, cols) {
+                    k_tile = Matrix::zeros(rows, cols);
+                }
+                kmat::kernel_cross_into(
+                    self.kernel.as_ref(),
+                    &block,
+                    &c_tile,
+                    &b_sq,
+                    &c_sq[j0..j0 + cols],
+                    &mut k_tile,
+                );
                 let w_tile = self.weights.submatrix(j0, 0, cols, l);
                 blas::gemm(S::ONE, &k_tile, &w_tile, S::ONE, &mut f_block);
                 j0 += cols;

@@ -10,10 +10,12 @@ use ep2_linalg::{ops, Scalar};
 /// matrices can be assembled from a squared-distance matrix computed with one
 /// GEMM — the computation pattern whose cost the device simulator models.
 /// Every concrete kernel in this crate implements `Kernel<S>` for all
-/// scalar types, with the profile evaluated natively in `S` (constants are
-/// converted once per call): the f32 instantiation is the paper's GPU
-/// configuration, where assembly is memory-bound and half-width elements
-/// roughly double throughput.
+/// scalar types, with the profile evaluated at [`Scalar::Compute`] width
+/// (the packed GEMM's register precision: `Self` for the native floats,
+/// f32 for bf16) and narrowed to `S` exactly once: the f32 instantiation
+/// is the paper's GPU configuration, where assembly is memory-bound and
+/// half-width elements roughly double throughput, and bf16 profiles avoid
+/// paying a storage-rounding round-trip per arithmetic op.
 pub trait Kernel<S: Scalar = f64>: Send + Sync + fmt::Debug {
     /// Evaluates the radial profile at squared distance `d2 ≥ 0`.
     fn of_sq_dist(&self, d2: S) -> S;
@@ -147,6 +149,17 @@ macro_rules! radial_kernel {
         }
 
         impl<S: Scalar> Kernel<S> for $name {
+            // The profile body is evaluated at `Scalar::Compute` width and
+            // narrowed to storage exactly once at the end. For the native
+            // floats `Compute = Self`, so this is the plain native
+            // evaluation, bit for bit. For bf16 (`Compute = f32`) it is both
+            // faster and tighter than storage-width arithmetic: evaluating
+            // in `Bf16` pays a widen/op/round-to-nearest-even narrow
+            // round-trip *per operation* — measured as the dominant share of
+            // the bf16 assembly gap vs f32 (`BENCH_gemm.json`,
+            // `assembly_fused` rows) — and each of those intermediate
+            // narrowings adds a 2^-8 relative rounding the final result
+            // keeps. One rounding at the end strictly refines both.
             #[inline]
             fn of_sq_dist(&self, d2: S) -> S {
                 debug_assert!(
@@ -154,11 +167,11 @@ macro_rules! radial_kernel {
                     "negative squared distance {}",
                     d2
                 );
-                let $d2 = d2.max(S::ZERO);
-                let $sigma = S::from_f64(self.sigma);
+                let $d2 = d2.compute().max(<S::Compute as Scalar>::ZERO);
+                let $sigma = <S::Compute as Scalar>::from_f64(self.sigma);
                 #[allow(unused_variables)]
-                let $cst = S::from_f64;
-                $body
+                let $cst = <S::Compute as Scalar>::from_f64;
+                S::from_compute($body)
             }
 
             fn name(&self) -> &str {

@@ -1,0 +1,206 @@
+//! Fused-vs-two-pass assembly parity: the epilogue-fused
+//! [`ep2_kernels::matrix::kernel_cross_into`] must reproduce the two-pass
+//! reference ([`kernel_cross_into_two_pass`]) **bit for bit** — per kernel
+//! family, per precision, per engine (small / per-thread packed /
+//! cooperative shared-slab), on shapes straddling every microkernel and
+//! cache-block boundary (MR/NR/MC/NC/KC).
+//!
+//! Scoped to one precision leg by `EP2_TEST_PRECISION` (unset = all), the
+//! same hook the CI `precision-matrix` job drives for `tests/precision.rs`;
+//! the `mixed` policy stores f32 at this layer, so it selects the f32 legs.
+//! The shared-slab engine legs pin thread budgets 2 and 5 explicitly — a
+//! worker count that divides the row blocks unevenly is exactly where a
+//! mis-threaded epilogue would double-fire or skip entries.
+
+use ep2_kernels::matrix::{
+    kernel_cross_into, kernel_cross_into_two_pass, kernel_matrix, row_sq_norms,
+};
+use ep2_kernels::KernelKind;
+use ep2_linalg::{Bf16, Matrix, Scalar};
+
+/// Whether `EP2_TEST_PRECISION` (unset, or a comma-separated policy list)
+/// selects this scalar's legs. `mixed` trains f32 storage, so it selects
+/// the f32 assembly legs at this layer.
+fn precision_selected(name: &str) -> bool {
+    match std::env::var("EP2_TEST_PRECISION") {
+        Ok(names) => names.split(',').any(|n| {
+            let n = n.trim();
+            n == name || (n == "mixed" && name == "f32")
+        }),
+        Err(_) => true,
+    }
+}
+
+fn points<S: Scalar>(n: usize, d: usize, seed: u64) -> Matrix<S> {
+    let mut state = seed | 1;
+    Matrix::from_fn(n, d, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        S::from_f64(((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0)
+    })
+}
+
+fn assert_bits_equal<S: Scalar>(fused: &Matrix<S>, reference: &Matrix<S>, ctx: &str) {
+    assert_eq!(fused.shape(), reference.shape(), "{ctx}: shape");
+    for i in 0..fused.rows() {
+        for j in 0..fused.cols() {
+            let (f, r) = (fused[(i, j)], reference[(i, j)]);
+            assert_eq!(
+                f.to_f64().to_bits(),
+                r.to_f64().to_bits(),
+                "{ctx}: entry ({i},{j}) fused {f} vs two-pass {r}"
+            );
+        }
+    }
+}
+
+/// Asserts fused == two-pass on one `(n, m, d)` cross-assembly shape for
+/// one kernel family.
+fn check_cross<S: Scalar>(kind: KernelKind, n: usize, m: usize, d: usize) {
+    let kernel = kind.with_bandwidth_in::<S>(1.7);
+    let a = points::<S>(n, d, 0xA5A5 + n as u64);
+    let b = points::<S>(m, d, 0x5A5A + m as u64);
+    let a_sq = row_sq_norms(&a);
+    let b_sq = row_sq_norms(&b);
+    let mut fused = Matrix::zeros(n, m);
+    let mut two_pass = Matrix::zeros(n, m);
+    kernel_cross_into(kernel.as_ref(), &a, &b, &a_sq, &b_sq, &mut fused);
+    kernel_cross_into_two_pass(kernel.as_ref(), &a, &b, &a_sq, &b_sq, &mut two_pass);
+    let ctx = format!("{kind:?} {} {n}x{m} d={d}", S::NAME);
+    assert_bits_equal(&fused, &two_pass, &ctx);
+}
+
+/// All six kernel families on shapes covering the small-product engine
+/// (with MR/NR edge tiles) and the packed engine straddling MC and the
+/// register tails; plus the deeper cache-block-crossing shapes (multi-slab
+/// `d > KC`, `m > NC`) on two families to bound debug-build runtime — the
+/// engine code is family-independent, only the profile differs.
+fn parity_sweep<S: Scalar>() {
+    for kind in KernelKind::ALL {
+        // Small path: 7*40*17 ops < SMALL_PRODUCT, edge tiles on both axes.
+        check_cross::<S>(kind, 7, 17, 40);
+        // Packed per-thread path: 70*37*60 ops > SMALL_PRODUCT; rows
+        // straddle MC = 48 and MR, cols straddle NR.
+        check_cross::<S>(kind, 70, 60, 37);
+    }
+    for kind in [KernelKind::Gaussian, KernelKind::Laplacian] {
+        // Multi-slab accumulation (d = 265 > KC = 256) with rows straddling
+        // MC and cols straddling NC = 512: the final-pc-slab epilogue must
+        // compose with accumulation *through* C on every boundary at once.
+        check_cross::<S>(kind, 51, 517, 265);
+        // Exact block multiples: interior tiles only.
+        check_cross::<S>(kind, 48, 128, 256);
+    }
+}
+
+#[test]
+fn fused_matches_two_pass_f32() {
+    if precision_selected("f32") {
+        parity_sweep::<f32>();
+    }
+}
+
+#[test]
+fn fused_matches_two_pass_f64() {
+    if precision_selected("f64") {
+        parity_sweep::<f64>();
+    }
+}
+
+#[test]
+fn fused_matches_two_pass_bf16() {
+    if precision_selected("bf16") {
+        parity_sweep::<Bf16>();
+    }
+}
+
+/// Shared-slab engine legs: the same multi-slab shape under explicit
+/// thread budgets of 2 and 5 (uneven row-block division) routes
+/// `gemm_packed` to the cooperative shared-slab engine.
+fn shared_slab_leg<S: Scalar>(threads: usize) {
+    ep2_runtime::with_budget(threads, || {
+        for kind in [KernelKind::Gaussian, KernelKind::Cauchy] {
+            check_cross::<S>(kind, 51, 517, 265);
+            check_cross::<S>(kind, 70, 60, 37);
+        }
+    });
+}
+
+#[test]
+fn fused_matches_two_pass_shared_slab_budget_2() {
+    if precision_selected("f32") {
+        shared_slab_leg::<f32>(2);
+    }
+    if precision_selected("f64") {
+        shared_slab_leg::<f64>(2);
+    }
+    if precision_selected("bf16") {
+        shared_slab_leg::<Bf16>(2);
+    }
+}
+
+#[test]
+fn fused_matches_two_pass_shared_slab_budget_5() {
+    if precision_selected("f32") {
+        shared_slab_leg::<f32>(5);
+    }
+    if precision_selected("f64") {
+        shared_slab_leg::<f64>(5);
+    }
+    if precision_selected("bf16") {
+        shared_slab_leg::<Bf16>(5);
+    }
+}
+
+/// `kernel_matrix` (lower-triangle fused assembly + mirror for the native
+/// floats; full fused assembly + symmetrize for bf16) must reproduce the
+/// pre-fusion construction — two-pass cross assembly, symmetrize average,
+/// unit diagonal — bit for bit.
+fn kernel_matrix_parity<S: Scalar>() {
+    for (kinds, n, d) in [
+        (&KernelKind::ALL[..], 60usize, 37usize),
+        // Multi-slab + MC/NR straddling, packed engine.
+        (&KernelKind::ALL[..2], 130, 300),
+    ] {
+        for &kind in kinds {
+            let kernel = kind.with_bandwidth_in::<S>(2.1);
+            let x = points::<S>(n, d, 0xC0DE + n as u64);
+            let fused = kernel_matrix(kernel.as_ref(), &x);
+            let x_sq = row_sq_norms(&x);
+            let mut reference = Matrix::zeros(n, n);
+            kernel_cross_into_two_pass(kernel.as_ref(), &x, &x, &x_sq, &x_sq, &mut reference);
+            reference.symmetrize();
+            for i in 0..n {
+                reference[(i, i)] = kernel.of_sq_dist(S::ZERO);
+            }
+            let ctx = format!("kernel_matrix {kind:?} {} n={n} d={d}", S::NAME);
+            assert_bits_equal(&fused, &reference, &ctx);
+        }
+    }
+}
+
+#[test]
+fn kernel_matrix_matches_two_pass_construction() {
+    if precision_selected("f32") {
+        kernel_matrix_parity::<f32>();
+    }
+    if precision_selected("f64") {
+        kernel_matrix_parity::<f64>();
+    }
+    if precision_selected("bf16") {
+        kernel_matrix_parity::<Bf16>();
+    }
+}
+
+#[test]
+fn kernel_matrix_shared_slab_matches_two_pass_construction() {
+    ep2_runtime::with_budget(3, || {
+        if precision_selected("f32") {
+            kernel_matrix_parity::<f32>();
+        }
+        if precision_selected("bf16") {
+            kernel_matrix_parity::<Bf16>();
+        }
+    });
+}

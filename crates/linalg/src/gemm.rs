@@ -82,6 +82,73 @@ const MAX_MR: usize = 8;
 /// Upper bound on `S::MR * S::NR` for stack-allocated scratch tiles.
 const MAX_TILE: usize = 128;
 
+/// A fused `C` write-back hook: maps each fully-accumulated GEMM entry —
+/// still at [`Scalar::Compute`] width, with the register tile cache-hot —
+/// to the value actually stored, replacing the plain
+/// `C[i,j] = from_compute(acc)` narrowing.
+///
+/// `apply` receives the **global** `(row, col)` of the entry and the
+/// fully-accumulated value `acc = alpha·(A·B)[row,col] + beta·C[row,col]`
+/// (every `KC` slab already folded in; see the engine contract below), and
+/// returns the storage value. This is what lets kernel assembly fuse the
+/// `d² = ‖x‖² + ‖z‖² − 2x·z` reassembly and the radial profile into the
+/// write-back — the separate element-wise pass over `C`, which streamed
+/// every tile through cache a second time, disappears. The hook is
+/// deliberately generic (any `Fn(usize, usize, Compute) -> S` closure
+/// implements it): a serve-path bias/scale epilogue is the same shape.
+///
+/// # Engine contract (exactness)
+///
+/// The epilogue-taking entry points ([`gemm_auto_epilogue`],
+/// [`gemm_packed_epilogue`]) guarantee:
+///
+/// - `apply` runs **exactly once** per `C` entry, only after the entry's
+///   accumulation is complete — in the blocked engines, on the final `pc`
+///   slab of the entry's column block. Earlier slabs accumulate through
+///   `C` in storage precision exactly as the plain engines do, so the
+///   per-entry rounding chain (one storage rounding per slab for `bf16`)
+///   is **bit-for-bit identical** to running the plain GEMM first.
+/// - The value handed to `apply` reproduces the plain write-back's
+///   arithmetic at compute width: `prior + alpha·acc` for interior tiles
+///   and `prior + from_compute(alpha·acc)` for zero-padded edge tiles
+///   (whose scratch-tile path rounds the product term to storage before
+///   accumulating). Narrowing `apply`'s input with `from_compute` therefore
+///   yields exactly the plain GEMM's stored value — pinned by the
+///   `store_epilogue_matches_plain_gemm` tests.
+/// - Threading never changes what `apply` sees, only which worker calls it.
+///
+/// Implementations must be `Sync`: the packed engines invoke the epilogue
+/// from worker threads.
+pub trait Epilogue<S: Scalar>: Sync {
+    /// Maps the fully-accumulated entry at global `(row, col)` to the value
+    /// to store.
+    fn apply(&self, row: usize, col: usize, acc: S::Compute) -> S;
+}
+
+impl<S: Scalar, F> Epilogue<S> for F
+where
+    F: Fn(usize, usize, S::Compute) -> S + Sync,
+{
+    #[inline(always)]
+    fn apply(&self, row: usize, col: usize, acc: S::Compute) -> S {
+        self(row, col, acc)
+    }
+}
+
+/// The identity epilogue: stores the accumulated value unchanged
+/// (`from_compute(acc)`), making the fused entry points degenerate to the
+/// plain GEMM bit for bit — the reference point the parity tests pin, and
+/// the phantom type the plain engines instantiate the shared loops with.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreEpilogue;
+
+impl<S: Scalar> Epilogue<S> for StoreEpilogue {
+    #[inline(always)]
+    fn apply(&self, _row: usize, _col: usize, acc: S::Compute) -> S {
+        S::from_compute(acc)
+    }
+}
+
 /// A read-only strided view of a dense operand: entry `(i, j)` lives at
 /// `data[i * rs + j * cs]`. A row-major matrix is `(rs, cs) = (cols, 1)`;
 /// its transpose is the same buffer with `(rs, cs) = (1, cols)` — which is
@@ -242,9 +309,78 @@ pub(crate) fn scale_stripe<S: Scalar>(c: &mut [S], beta: S) {
     }
 }
 
+/// Runs one `MR x NR` register tile against the (already beta-scaled) `C`
+/// tile starting at `c[0]`. With `fuse == None` this is the plain storage
+/// write-back (accumulate through `C`, used for every non-final `KC` slab
+/// and by the plain engines); with `fuse == Some((epi, row0, col0))` the
+/// tile is the entry's **final** slab contribution: the accumulated value
+/// is rebuilt at compute width — replicating the plain path's rounding
+/// chain exactly, including the edge-tile scratch rounding — and handed to
+/// the epilogue instead of being stored directly.
+#[allow(clippy::too_many_arguments)] // the engine's loop variables, 1:1
+#[inline(always)]
+fn compute_tile<S: Scalar, E: Epilogue<S>>(
+    kc: usize,
+    alpha: S,
+    a_panel: &[S::Compute],
+    b_panel: &[S::Compute],
+    c: &mut [S],
+    ldc: usize,
+    mr_here: usize,
+    nr_here: usize,
+    fuse: Option<(&E, usize, usize)>,
+) {
+    let (mr, nr) = (S::MR, S::NR);
+    let Some((epi, row0, col0)) = fuse else {
+        if mr_here == mr && nr_here == nr {
+            S::microkernel(kc, alpha, a_panel, b_panel, c, ldc);
+        } else {
+            // Edge tile: run the full (zero-padded) kernel into a scratch
+            // tile, accumulate the valid corner.
+            debug_assert!(mr <= MAX_MR && mr * nr <= MAX_TILE);
+            let mut tile = [S::ZERO; MAX_TILE];
+            S::microkernel(kc, alpha, a_panel, b_panel, &mut tile, nr);
+            for i in 0..mr_here {
+                let src = &tile[i * nr..i * nr + nr_here];
+                let dst = &mut c[i * ldc..][..nr_here];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+        return;
+    };
+    // Fused final-slab write-back: take the raw register tile at compute
+    // width and fold in the prior C value the same way the plain paths do —
+    // `prior + alpha·acc` on interior tiles; edge tiles round the product
+    // term through storage first, as the scratch-tile path above does — so
+    // `from_compute(value seen by the epilogue)` is bit-for-bit the plain
+    // GEMM's stored result.
+    debug_assert!(mr * nr <= MAX_TILE);
+    let mut acc = [S::Compute::ZERO; MAX_TILE];
+    S::microkernel_acc(kc, a_panel, b_panel, &mut acc);
+    let alpha_c = alpha.compute();
+    let full = mr_here == mr && nr_here == nr;
+    for i in 0..mr_here {
+        let row = &acc[i * nr..i * nr + nr_here];
+        let dst = &mut c[i * ldc..][..nr_here];
+        for (j, (d, &r)) in dst.iter_mut().zip(row).enumerate() {
+            let v = if full {
+                d.compute() + alpha_c * r
+            } else {
+                d.compute() + S::from_compute(alpha_c * r).compute()
+            };
+            *d = epi.apply(row0 + i, col0 + j, v);
+        }
+    }
+}
+
 /// The per-stripe block loop: accumulates `alpha * A[rows r0..r0+rows] · B`
-/// into the (already beta-scaled) stripe `c` of shape `rows x ldc`.
-fn gemm_stripe<S: Scalar>(
+/// into the (already beta-scaled) stripe `c` of shape `rows x ldc`. When an
+/// epilogue is given, it fires on the final `pc` slab of each column block
+/// (see [`Epilogue`] for the exactness contract).
+#[allow(clippy::too_many_arguments)] // mirrors the engine's loop variables 1:1
+fn gemm_stripe<S: Scalar, E: Epilogue<S>>(
     alpha: S,
     a: &View<'_, S>,
     b: &View<'_, S>,
@@ -252,6 +388,7 @@ fn gemm_stripe<S: Scalar>(
     r0: usize,
     rows: usize,
     ldc: usize,
+    epi: Option<&E>,
 ) {
     let (mr, nr) = (S::MR, S::NR);
     let k = a.cols;
@@ -263,6 +400,7 @@ fn gemm_stripe<S: Scalar>(
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
+                let fuse = if pc + KC >= k { epi } else { None };
                 pack_b(b, pc, jc, kc, nc, bp);
                 for ic in (0..rows).step_by(MC) {
                     let mc = MC.min(rows - ic);
@@ -274,23 +412,17 @@ fn gemm_stripe<S: Scalar>(
                             let mr_here = mr.min(mc - ir);
                             let a_panel = &ap[(ir / mr) * mr * kc..][..mr * kc];
                             let c_off = (ic + ir) * ldc + jc + jr;
-                            if mr_here == mr && nr_here == nr {
-                                S::microkernel(kc, alpha, a_panel, b_panel, &mut c[c_off..], ldc);
-                            } else {
-                                // Edge tile: run the full (zero-padded)
-                                // kernel into a scratch tile, accumulate the
-                                // valid corner.
-                                debug_assert!(mr <= MAX_MR && mr * nr <= MAX_TILE);
-                                let mut tile = [S::ZERO; MAX_TILE];
-                                S::microkernel(kc, alpha, a_panel, b_panel, &mut tile, nr);
-                                for i in 0..mr_here {
-                                    let src = &tile[i * nr..i * nr + nr_here];
-                                    let dst = &mut c[c_off + i * ldc..][..nr_here];
-                                    for (d, &s) in dst.iter_mut().zip(src) {
-                                        *d += s;
-                                    }
-                                }
-                            }
+                            compute_tile(
+                                kc,
+                                alpha,
+                                a_panel,
+                                b_panel,
+                                &mut c[c_off..],
+                                ldc,
+                                mr_here,
+                                nr_here,
+                                fuse.map(|e| (e, r0 + ic + ir, jc + jr)),
+                            );
                         }
                     }
                 }
@@ -315,8 +447,41 @@ pub fn gemm_auto<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c
     }
 }
 
+/// Fused-epilogue variant of [`gemm_auto`]: same [`SMALL_PRODUCT`] dispatch
+/// (depending only on the shape, so fused and plain runs of one shape
+/// always hit the same engine), with `epi` applied to every
+/// fully-accumulated entry per the [`Epilogue`] contract.
+pub fn gemm_auto_epilogue<S: Scalar, E: Epilogue<S>>(
+    alpha: S,
+    a: View<'_, S>,
+    b: View<'_, S>,
+    beta: S,
+    c: &mut [S],
+    epi: &E,
+) {
+    if a.rows * a.cols * b.cols <= SMALL_PRODUCT {
+        gemm_small_epilogue(alpha, a, b, beta, c, epi);
+    } else {
+        gemm_packed_epilogue(alpha, a, b, beta, c, epi);
+    }
+}
+
 /// Direct per-entry products for sub-[`SMALL_PRODUCT`] shapes.
 fn gemm_small<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c: &mut [S]) {
+    // The identity epilogue stores `from_compute(acc)` — exactly the plain
+    // small-path write-back, so one loop serves both entry points.
+    gemm_small_epilogue(alpha, a, b, beta, c, &StoreEpilogue);
+}
+
+/// [`gemm_small`] with the write-back routed through an epilogue.
+fn gemm_small_epilogue<S: Scalar, E: Epilogue<S>>(
+    alpha: S,
+    a: View<'_, S>,
+    b: View<'_, S>,
+    beta: S,
+    c: &mut [S],
+    epi: &E,
+) {
     assert_eq!(a.cols, b.rows, "gemm: inner dimension mismatch");
     let (m, n) = (a.rows, b.cols);
     let k = a.cols;
@@ -331,11 +496,12 @@ fn gemm_small<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c: &
             for p in 0..k {
                 acc += a.at(i, p).compute() * b.at(p, j).compute();
             }
-            *cv = if beta == S::ZERO {
-                S::from_compute(alpha_c * acc)
+            let v = if beta == S::ZERO {
+                alpha_c * acc
             } else {
-                S::from_compute(alpha_c * acc + beta_c * cv.compute())
+                alpha_c * acc + beta_c * cv.compute()
             };
+            *cv = epi.apply(i, j, v);
         }
     }
 }
@@ -348,7 +514,7 @@ fn gemm_small<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S, c: &
 ///
 /// Under a thread budget of 1 the whole block loop runs inline on the
 /// caller; with more threads it dispatches to the cooperative shared-slab
-/// engine (`gemm_packed_shared` internally), which packs each B block
+/// engine (`gemm_shared_impl` internally), which packs each B block
 /// **once** into a slab all workers read instead of once per thread. Both
 /// paths — and the per-thread baseline [`gemm_packed_perthread`] — produce
 /// bit-for-bit identical results: the per-entry accumulation order (KC
@@ -364,8 +530,44 @@ pub fn gemm_packed<S: Scalar>(alpha: S, a: View<'_, S>, b: View<'_, S>, beta: S,
     if threads <= 1 {
         gemm_packed_perthread(alpha, a, b, beta, c);
     } else {
-        gemm_packed_shared(alpha, a, b, beta, c, threads);
+        gemm_shared_impl::<S, StoreEpilogue>(alpha, a, b, beta, c, threads, None);
     }
+}
+
+/// Fused-epilogue variant of [`gemm_packed`]: identical engine dispatch
+/// (per-thread under a budget of 1, cooperative shared-slab otherwise),
+/// with the epilogue firing on each entry's final `KC` slab.
+pub fn gemm_packed_epilogue<S: Scalar, E: Epilogue<S>>(
+    alpha: S,
+    a: View<'_, S>,
+    b: View<'_, S>,
+    beta: S,
+    c: &mut [S],
+    epi: &E,
+) {
+    let threads = parallel::num_threads();
+    if threads <= 1 {
+        gemm_perthread_impl(alpha, a, b, beta, c, Some(epi));
+    } else {
+        gemm_shared_impl(alpha, a, b, beta, c, threads, Some(epi));
+    }
+}
+
+/// Degenerate-product epilogue pass (`k == 0` or `alpha == 0`, where
+/// [`packed_preamble`] already reduced `C` to its beta-scaled prior): the
+/// fused contract still owes the epilogue exactly one visit per entry, with
+/// the stored value widened back to compute width (`from_compute` of which
+/// is the identity on it, so [`StoreEpilogue`] leaves `C` untouched).
+fn epilogue_sweep<S: Scalar, E: Epilogue<S>>(c: &mut [S], n: usize, epi: &E) {
+    if c.is_empty() || n == 0 {
+        return;
+    }
+    parallel::for_each_chunk_mut(c, n, |off, row| {
+        let i = off / n;
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = epi.apply(i, j, v.compute());
+        }
+    });
 }
 
 /// Checks shapes and handles the degenerate cases shared by both packed
@@ -401,7 +603,23 @@ pub fn gemm_packed_perthread<S: Scalar>(
     beta: S,
     c: &mut [S],
 ) {
+    gemm_perthread_impl::<S, StoreEpilogue>(alpha, a, b, beta, c, None);
+}
+
+/// The per-thread engine body, shared by the plain and fused entry points
+/// (`epi == None` is the plain write-back on every slab).
+fn gemm_perthread_impl<S: Scalar, E: Epilogue<S>>(
+    alpha: S,
+    a: View<'_, S>,
+    b: View<'_, S>,
+    beta: S,
+    c: &mut [S],
+    epi: Option<&E>,
+) {
     let Some((m, _, n)) = packed_preamble(&a, &b, alpha, beta, c) else {
+        if let Some(epi) = epi {
+            epilogue_sweep(c, b.cols, epi);
+        }
         return;
     };
     // The beta pass runs inside each stripe so C is touched exactly once
@@ -415,7 +633,7 @@ pub fn gemm_packed_perthread<S: Scalar>(
         let r0 = off / n;
         let rows = stripe.len() / n;
         scale_stripe(stripe, beta);
-        gemm_stripe(alpha, &a, &b, stripe, r0, rows, n);
+        gemm_stripe(alpha, &a, &b, stripe, r0, rows, n, epi);
     });
 }
 
@@ -427,15 +645,23 @@ pub fn gemm_packed_perthread<S: Scalar>(
 /// barrier: no worker reads a panel before the pool has finished writing
 /// the slab, and no worker overwrites it for the next `pc` before every
 /// reader of the current one has joined.
-fn gemm_packed_shared<S: Scalar>(
+///
+/// Shared by the plain and fused entry points (`epi == None` is the plain
+/// write-back on every slab; `Some` fires it on each entry's final `pc`
+/// slab, from whichever worker owns that row stripe).
+fn gemm_shared_impl<S: Scalar, E: Epilogue<S>>(
     alpha: S,
     a: View<'_, S>,
     b: View<'_, S>,
     beta: S,
     c: &mut [S],
     threads: usize,
+    epi: Option<&E>,
 ) {
     let Some((m, k, n)) = packed_preamble(&a, &b, alpha, beta, c) else {
+        if let Some(epi) = epi {
+            epilogue_sweep(c, b.cols, epi);
+        }
         return;
     };
     let nr = S::NR;
@@ -449,6 +675,7 @@ fn gemm_packed_shared<S: Scalar>(
             let nc = NC.min(n - jc);
             for pc in (0..k).step_by(KC) {
                 let kc = KC.min(k - pc);
+                let fuse = if pc + KC >= k { epi } else { None };
                 // Phase 1: cooperative pack. Each pool chunk fills one
                 // NR-wide panel; panels are disjoint slab slices.
                 let panels = nc.div_ceil(nr);
@@ -463,7 +690,7 @@ fn gemm_packed_shared<S: Scalar>(
                 parallel::for_each_chunk_mut(c, MC * n, |off, stripe| {
                     let r0 = off / n;
                     let rows = stripe.len() / n;
-                    gemm_block_rows(alpha, &a, stripe, r0, rows, n, pc, kc, jc, nc, bp_ro);
+                    gemm_block_rows(alpha, &a, stripe, r0, rows, n, pc, kc, jc, nc, bp_ro, fuse);
                 });
             }
         }
@@ -475,7 +702,7 @@ fn gemm_packed_shared<S: Scalar>(
 /// row `r0`, packing the stripe's A block into this thread's arena and
 /// reading the B panels from the shared slab.
 #[allow(clippy::too_many_arguments)] // mirrors the engine's loop variables 1:1
-fn gemm_block_rows<S: Scalar>(
+fn gemm_block_rows<S: Scalar, E: Epilogue<S>>(
     alpha: S,
     a: &View<'_, S>,
     c: &mut [S],
@@ -487,6 +714,7 @@ fn gemm_block_rows<S: Scalar>(
     jc: usize,
     nc: usize,
     bp: &[S::Compute],
+    fuse: Option<&E>,
 ) {
     let (mr, nr) = (S::MR, S::NR);
     let ap_len = MC.div_ceil(mr) * mr * KC;
@@ -501,20 +729,17 @@ fn gemm_block_rows<S: Scalar>(
                     let mr_here = mr.min(mc - ir);
                     let a_panel = &ap[(ir / mr) * mr * kc..][..mr * kc];
                     let c_off = (ic + ir) * ldc + jc + jr;
-                    if mr_here == mr && nr_here == nr {
-                        S::microkernel(kc, alpha, a_panel, b_panel, &mut c[c_off..], ldc);
-                    } else {
-                        debug_assert!(mr <= MAX_MR && mr * nr <= MAX_TILE);
-                        let mut tile = [S::ZERO; MAX_TILE];
-                        S::microkernel(kc, alpha, a_panel, b_panel, &mut tile, nr);
-                        for i in 0..mr_here {
-                            let src = &tile[i * nr..i * nr + nr_here];
-                            let dst = &mut c[c_off + i * ldc..][..nr_here];
-                            for (d, &s) in dst.iter_mut().zip(src) {
-                                *d += s;
-                            }
-                        }
-                    }
+                    compute_tile(
+                        kc,
+                        alpha,
+                        a_panel,
+                        b_panel,
+                        &mut c[c_off..],
+                        ldc,
+                        mr_here,
+                        nr_here,
+                        fuse.map(|e| (e, r0 + ic + ir, jc + jr)),
+                    );
                 }
             }
         }
@@ -592,6 +817,109 @@ mod tests {
         for (&got, &expect) in c.iter().zip(&reference) {
             assert!((got as f64 - expect).abs() < 1e-4);
         }
+    }
+
+    /// `StoreEpilogue` through the fused entry points must degenerate to
+    /// the plain GEMM **bit for bit** — the write-back rounding chains
+    /// (interior, edge-scratch, small-path) are replicated exactly, for
+    /// every precision, on shapes crossing every block boundary.
+    fn store_epilogue_matches_plain<S: Scalar>(m: usize, k: usize, n: usize) {
+        let a: Vec<S> = fill(m * k, 11);
+        let b: Vec<S> = fill(k * n, 12);
+        let mut plain = vec![S::from_f64(0.25); m * n];
+        let mut fused = plain.clone();
+        gemm_auto(
+            S::from_f64(-2.0),
+            View::row_major(&a, m, k),
+            View::row_major(&b, k, n),
+            S::ONE,
+            &mut plain,
+        );
+        gemm_auto_epilogue(
+            S::from_f64(-2.0),
+            View::row_major(&a, m, k),
+            View::row_major(&b, k, n),
+            S::ONE,
+            &mut fused,
+            &StoreEpilogue,
+        );
+        for (i, (&p, &f)) in plain.iter().zip(&fused).enumerate() {
+            assert_eq!(
+                p.to_f64().to_bits(),
+                f.to_f64().to_bits(),
+                "entry {i} ({m}x{k}x{n}, {})",
+                S::NAME
+            );
+        }
+    }
+
+    #[test]
+    fn store_epilogue_matches_plain_gemm() {
+        for &(m, k, n) in &[
+            (5, 7, 9),                // small path, edge tiles
+            (MC + 3, KC + 5, NC + 7), // packed, every block boundary
+            (2 * MC, 2 * KC, NC),     // packed, exact multiples
+        ] {
+            store_epilogue_matches_plain::<f32>(m, k, n);
+            store_epilogue_matches_plain::<f64>(m, k, n);
+            store_epilogue_matches_plain::<crate::Bf16>(m, k, n);
+        }
+    }
+
+    #[test]
+    fn closure_epilogue_sees_global_coords_once_each() {
+        // A bias epilogue (the serve-path shape): out[i,j] = acc + i + 2j.
+        // Visit counting would need interior mutability; instead check the
+        // coordinate-dependent result everywhere, which fails if any entry
+        // is skipped, double-applied, or handed wrong coordinates.
+        let (m, k, n) = (MC + 1, KC + 2, NC + 3);
+        let a: Vec<f64> = fill(m * k, 21);
+        let b: Vec<f64> = fill(k * n, 22);
+        let mut plain = vec![0.0; m * n];
+        gemm_packed(
+            1.0,
+            View::row_major(&a, m, k),
+            View::row_major(&b, k, n),
+            0.0,
+            &mut plain,
+        );
+        let mut fused = vec![0.0; m * n];
+        let bias = |i: usize, j: usize, acc: f64| acc + i as f64 + 2.0 * j as f64;
+        gemm_packed_epilogue(
+            1.0,
+            View::row_major(&a, m, k),
+            View::row_major(&b, k, n),
+            0.0,
+            &mut fused,
+            &bias,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let expect = plain[i * n + j] + i as f64 + 2.0 * j as f64;
+                assert_eq!(fused[i * n + j], expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_products_still_run_epilogue() {
+        // alpha == 0 short-circuits the block loops; the epilogue must
+        // still see every entry (beta-scaled prior C at compute width).
+        let a: Vec<f64> = fill(4, 31);
+        let b: Vec<f64> = fill(6, 32);
+        let mut c = vec![2.0; 6];
+        let negate = |_i: usize, _j: usize, acc: f64| -acc;
+        // Big-shape dispatch is unreachable with alpha == 0 product sizes
+        // here, so call the packed entry directly.
+        gemm_packed_epilogue(
+            0.0,
+            View::row_major(&a, 2, 2),
+            View::row_major(&b, 2, 3),
+            0.5,
+            &mut c,
+            &negate,
+        );
+        assert!(c.iter().all(|&v| v == -1.0), "{c:?}");
     }
 
     #[test]

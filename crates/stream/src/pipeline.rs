@@ -265,7 +265,10 @@ impl<S: Scalar> StreamEngine<S> {
             let mut block = Matrix::from_vec(rows, cols, buf);
             // Stage the tile's center slice (the d·n_tile ledger charge the
             // ring slot carries) and assemble through the packed GEMM path,
-            // reusing the cached norms on both sides.
+            // reusing the cached norms on both sides. `kernel_cross_into`
+            // applies the radial profile (and any bf16 narrowing) in the
+            // GEMM epilogue, so producers fill each tile in one sweep —
+            // no separate element pass over the block.
             let tile_centers = self.centers.submatrix(task.col0, 0, cols, d);
             kmat::kernel_cross_into(
                 self.kernel.as_ref(),
