@@ -3,13 +3,17 @@
 use std::collections::BTreeMap;
 
 /// Parsed command line: a subcommand plus `--key value` options
-/// (`--flag` with no value stores an empty string).
+/// (`--flag` with no value stores an empty string) and any bare
+/// positional arguments (e.g. the path in `ep2 inspect model.ep2`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Parsed {
     /// The subcommand (first non-flag argument).
     pub command: String,
     /// Option map, keys without the leading `--`.
     pub options: BTreeMap<String, String>,
+    /// Bare positional arguments after the subcommand, in order. Commands
+    /// that take none reject strays at dispatch.
+    pub positionals: Vec<String>,
 }
 
 /// Parses an argument vector (excluding the program name).
@@ -17,7 +21,7 @@ pub struct Parsed {
 /// # Errors
 ///
 /// Returns a human-readable message for malformed input (missing
-/// subcommand, value-less option at end, unexpected positional).
+/// subcommand, value-less option at end).
 pub fn parse(args: &[String]) -> Result<Parsed, String> {
     let mut iter = args.iter().peekable();
     let command = iter
@@ -28,9 +32,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
         return Err(format!("expected a subcommand before {command}"));
     }
     let mut options = BTreeMap::new();
+    let mut positionals = Vec::new();
     while let Some(arg) = iter.next() {
         let Some(key) = arg.strip_prefix("--") else {
-            return Err(format!("unexpected positional argument {arg}"));
+            positionals.push(arg.clone());
+            continue;
         };
         // `--key=value` or `--key value` or bare `--flag`.
         if let Some((k, v)) = key.split_once('=') {
@@ -45,7 +51,11 @@ pub fn parse(args: &[String]) -> Result<Parsed, String> {
             options.insert(key.to_string(), String::new());
         }
     }
-    Ok(Parsed { command, options })
+    Ok(Parsed {
+        command,
+        options,
+        positionals,
+    })
 }
 
 impl Parsed {
@@ -127,7 +137,9 @@ mod tests {
     }
 
     #[test]
-    fn rejects_positional_after_command() {
-        assert!(parse(&v(&["train", "stray"])).is_err());
+    fn collects_positionals_in_order() {
+        let p = parse(&v(&["inspect", "model.ep2", "--n", "5", "other.ep2"])).unwrap();
+        assert_eq!(p.positionals, vec!["model.ep2", "other.ep2"]);
+        assert_eq!(p.options["n"], "5");
     }
 }

@@ -19,6 +19,9 @@ commands:
   datasets                        list synthetic dataset clones
   plan     compute the analytic parameters (Table-4 row) for a dataset
   train    train EigenPro 2.0 and report per-epoch metrics
+  eval     evaluate a saved model on a dataset split
+  inspect  print the header, dims, checksum status, and embedded trainer
+           state of an .ep2/.ep2m model or checkpoint file
   help     show this message
 
 common options:
@@ -59,9 +62,20 @@ plan/train options:
   --no-early-stop     disable validation early stopping
   --save <path>       write the trained model (EP2M binary format)
 
+fault-tolerance options (train):
+  --checkpoint-dir <dir>   write atomic checkpoints (ckpt-NNNNNN.ep2) with
+                           the full trainer state after each healthy epoch
+  --checkpoint-every <k>   checkpoint every k-th epoch       (default 1)
+  --resume                 continue from the latest valid checkpoint in
+                           --checkpoint-dir; the resumed trajectory is
+                           bit-for-bit identical to an uninterrupted run
+
 eval options:
   --model <path>      trained model to load
   (plus the dataset options above for the evaluation split)
+
+inspect:
+  ep2 inspect <model.ep2>   (or --model <path>)
 ";
 
 /// Dispatches a parsed command line.
@@ -71,6 +85,11 @@ eval options:
 /// Returns a human-readable message for unknown commands/options or
 /// training failures.
 pub fn run(parsed: &Parsed) -> Result<(), String> {
+    if parsed.command != "inspect" {
+        if let Some(stray) = parsed.positionals.first() {
+            return Err(format!("unexpected positional argument {stray}"));
+        }
+    }
     match parsed.command.as_str() {
         "help" | "-h" | "--help" => {
             println!("{USAGE}");
@@ -81,6 +100,7 @@ pub fn run(parsed: &Parsed) -> Result<(), String> {
         "plan" => plan(parsed),
         "train" => train(parsed),
         "eval" => eval_model(parsed),
+        "inspect" => inspect_model(parsed),
         other => Err(format!("unknown command {other} (try `ep2 help`)")),
     }
 }
@@ -348,6 +368,74 @@ fn eval_model(parsed: &Parsed) -> Result<(), String> {
     Ok(())
 }
 
+fn inspect_model(parsed: &Parsed) -> Result<(), String> {
+    use ep2_core::persist::ChecksumStatus;
+    let path = parsed
+        .positionals
+        .first()
+        .or_else(|| parsed.options.get("model"))
+        .ok_or_else(|| "usage: ep2 inspect <model.ep2>".to_string())?;
+    if parsed.positionals.len() > 1 {
+        return Err(format!(
+            "unexpected positional argument {}",
+            parsed.positionals[1]
+        ));
+    }
+    let data = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let info = ep2_core::persist::inspect(&data).map_err(|e| e.to_string())?;
+    println!("file:      {path} ({} bytes)", info.total_bytes);
+    println!("format:    EP2M v{}", info.version);
+    println!("kernel:    {} (sigma = {})", info.kernel, info.bandwidth);
+    println!(
+        "model:     {} centers x {} dims -> {} outputs",
+        info.n, info.d, info.l
+    );
+    match info.checksum {
+        ChecksumStatus::Valid => println!("checksum:  OK (crc32)"),
+        ChecksumStatus::Absent => println!("checksum:  absent (v1 file, no integrity record)"),
+        ChecksumStatus::Mismatch { stored, computed } => println!(
+            "checksum:  MISMATCH (stored {stored:#010x}, computed {computed:#010x}) \
+             -- file is corrupt or torn"
+        ),
+    }
+    match &info.state {
+        None => println!("state:     none (plain model file)"),
+        Some(s) => {
+            println!(
+                "state:     trainer checkpoint at epoch {} ({} history entr{})",
+                s.epochs_done,
+                s.history.len(),
+                if s.history.len() == 1 { "y" } else { "ies" }
+            );
+            println!(
+                "           eta = {:.4} after {} backoff(s), {} rollback(s)",
+                s.eta, s.eta_backoffs, s.rollbacks
+            );
+            println!(
+                "           precision = {} | {} iterations | sim {:.1} ms",
+                s.precision,
+                s.iterations,
+                s.simulated_seconds * 1e3
+            );
+            println!("           plan fingerprint {:#018x}", s.plan_fingerprint);
+            if let Some(last) = s.history.last() {
+                match last.val_error {
+                    Some(ve) => println!(
+                        "           last epoch: train mse {:.3e}, test error {:.2}%",
+                        last.train_mse,
+                        ve * 100.0
+                    ),
+                    None => println!("           last epoch: train mse {:.3e}", last.train_mse),
+                }
+            }
+        }
+    }
+    if matches!(info.checksum, ChecksumStatus::Mismatch { .. }) {
+        return Err("checksum mismatch: the file failed integrity verification".to_string());
+    }
+    Ok(())
+}
+
 fn train(parsed: &Parsed) -> Result<(), String> {
     let dataset = load_dataset(parsed)?;
     let device = load_device(parsed)?;
@@ -391,12 +479,24 @@ fn train(parsed: &Parsed) -> Result<(), String> {
         stream_tile: parsed.get_opt("tile")?,
         stream_producers: resolve_producers(parsed)?,
         seed: parsed.get_or("seed", 0)?,
+        checkpoint_dir: parsed
+            .options
+            .get("checkpoint-dir")
+            .map(std::path::PathBuf::from),
+        checkpoint_every: parsed.get_or("checkpoint-every", 1)?,
+        resume: parsed.flag("resume"),
     };
+    if config.resume && config.checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".to_string());
+    }
     let outcome = EigenPro2::new(config, device)
         .fit(&train_set, val)
         .map_err(|e| e.to_string())?;
 
     let p = &outcome.report.params;
+    if let Some(epoch) = outcome.report.resumed_from_epoch {
+        println!("resumed from checkpoint at epoch {epoch}");
+    }
     println!(
         "{}: n = {} train / {} test | {kind} sigma = {sigma} | {} | {} | m = {}, q = {}, eta = {:.1}",
         train_set.name,
@@ -444,6 +544,21 @@ fn train(parsed: &Parsed) -> Result<(), String> {
         "memory: {} residency | peak {:.3e} of {:.3e} S_G slots",
         outcome.report.residency, outcome.report.peak_slots, outcome.report.budget_slots
     );
+    if outcome.report.stream_recoveries > 0 {
+        println!(
+            "stream recoveries: {} producer death(s) absorbed by respawn",
+            outcome.report.stream_recoveries
+        );
+    }
+    for d in &outcome.report.degradations {
+        println!("degradation: {d}");
+    }
+    if outcome.report.rollbacks > 0 {
+        println!(
+            "rollbacks: {} divergence rollback(s) to the last healthy weights",
+            outcome.report.rollbacks
+        );
+    }
     if let Some(path) = parsed.options.get("save") {
         ep2_core::persist::save(&outcome.model, path).map_err(|e| e.to_string())?;
         println!("model saved to {path}");
@@ -702,6 +817,61 @@ mod tests {
             "-5"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn stray_positional_rejected_outside_inspect() {
+        assert!(run(&parsed(&["train", "stray"])).is_err());
+        assert!(run(&parsed(&["plan", "stray"])).is_err());
+    }
+
+    #[test]
+    fn inspect_requires_path_and_rejects_missing_file() {
+        assert!(run(&parsed(&["inspect"])).is_err());
+        assert!(run(&parsed(&["inspect", "/nonexistent/nope.ep2"])).is_err());
+    }
+
+    #[test]
+    fn train_checkpoint_then_inspect_and_resume() {
+        let dir = std::env::temp_dir().join("ep2_cli_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_string_lossy().to_string();
+        let base = [
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "200",
+            "--sigma",
+            "4",
+            "--s",
+            "80",
+            "--no-early-stop",
+            "--checkpoint-dir",
+            &dir_s,
+        ];
+        let mut two = base.to_vec();
+        two.extend(["--epochs", "2"]);
+        assert!(run(&parsed(&two)).is_ok());
+        let ckpt = dir.join("ckpt-000002.ep2");
+        assert!(ckpt.exists(), "checkpoint not written");
+        let ckpt_s = ckpt.to_string_lossy().to_string();
+        assert!(run(&parsed(&["inspect", &ckpt_s])).is_ok());
+        let mut resumed = base.to_vec();
+        resumed.extend(["--epochs", "4", "--resume"]);
+        assert!(run(&parsed(&resumed)).is_ok());
+        // --resume without a directory is rejected up front.
+        assert!(run(&parsed(&[
+            "train",
+            "--dataset",
+            "susy-like",
+            "--n",
+            "100",
+            "--resume"
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub enum CoreError {
         /// Human-readable description from the ledger.
         message: String,
     },
+    /// The streaming pipeline failed beyond what self-healing could absorb
+    /// (e.g. every producer died and the respawn budget ran out).
+    Stream {
+        /// Human-readable description of the pipeline failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +33,7 @@ impl fmt::Display for CoreError {
             CoreError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
             CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
             CoreError::DeviceMemory { message } => write!(f, "device memory: {message}"),
+            CoreError::Stream { message } => write!(f, "stream pipeline: {message}"),
         }
     }
 }

@@ -110,6 +110,13 @@ impl<S: Scalar> EigenProIteration<S> {
         &self.counter
     }
 
+    /// Mutable access to the operation counter — used by checkpoint resume
+    /// to restore accumulated counts so reports continue the interrupted
+    /// trajectory.
+    pub fn counter_mut(&mut self) -> &mut FlopCounter {
+        &mut self.counter
+    }
+
     /// Executes one iteration of Algorithm 1 on the mini-batch given by
     /// `batch_indices` (rows into the training set/centers), with targets
     /// `y` (`n x l`, the full target matrix).

@@ -38,6 +38,8 @@
 
 use std::any::Any;
 use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,8 +53,10 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::autotune::{self, AutoParams};
+use crate::counter::FlopCounter;
 use crate::iteration::EigenProIteration;
 use crate::model::KernelModel;
+use crate::persist::{self, TrainerState};
 use crate::CoreError;
 
 /// Spectral margin added to the planned `λ₁(K_G)` when executing under
@@ -149,6 +153,22 @@ pub struct TrainConfig {
     pub stream_producers: Option<usize>,
     /// RNG seed (subsampling + batch shuffling).
     pub seed: u64,
+    /// Directory for periodic training checkpoints; `None` disables
+    /// checkpointing. Checkpoints are `ckpt-{epoch:06}.ep2` files in the v2
+    /// persist format (model + [`TrainerState`] + CRC32), written
+    /// atomically so a crash mid-write can never corrupt the last good one.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint cadence in epochs (default 1 = every epoch). Only epochs
+    /// the divergence safeguard did not flag are checkpointed, so a resume
+    /// always starts from a healthy state.
+    pub checkpoint_every: usize,
+    /// Resume from the newest valid checkpoint in `checkpoint_dir` (corrupt
+    /// or torn files are skipped with a warning). The restored run continues
+    /// the interrupted trajectory exactly: batch shuffles are re-derived per
+    /// epoch from `seed`, and weights/η/clock/counters are restored from the
+    /// checkpoint, so an uninterrupted run and a killed-and-resumed run
+    /// produce bit-identical weights and reports at equal total epochs.
+    pub resume: bool,
 }
 
 impl Default for TrainConfig {
@@ -170,12 +190,15 @@ impl Default for TrainConfig {
             stream_tile: None,
             stream_producers: None,
             seed: 0,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
         }
     }
 }
 
 /// Per-epoch statistics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochStats {
     /// Epoch index (1-based).
     pub epoch: usize,
@@ -226,6 +249,19 @@ pub struct TrainReport {
     /// The device budget `S_G` the ledger enforced (raw f32-reference
     /// slots).
     pub budget_slots: f64,
+    /// Times the divergence safeguard restored weights from the last
+    /// healthy checkpoint instead of zeroing them (0 in stable runs).
+    pub rollbacks: u32,
+    /// Dead stream producers the self-healing pipeline absorbed (respawns
+    /// or work redistributions); 0 for in-core runs and fault-free streams.
+    pub stream_recoveries: usize,
+    /// Graceful-degradation and self-healing events, in order: mid-setup
+    /// memory re-plans (in-core → streamed), tile narrowings, and stream
+    /// producer deaths the pipeline recovered from. Empty in healthy runs.
+    pub degradations: Vec<String>,
+    /// `Some(epoch)` when this run resumed from a checkpoint written at
+    /// that epoch.
+    pub resumed_from_epoch: Option<usize>,
 }
 
 /// Why the training loop ended.
@@ -391,7 +427,7 @@ impl EigenPro2 {
         // producer count, and the final cost-model partition runs inside
         // `plan_streamed` once `s`/`q` are known.
         let requested_producers = cfg.stream_producers.or(ep2_stream::producer_override());
-        let stream_plan = match residency {
+        let mut stream_plan = match residency {
             ResidencyMode::InCore => None,
             ResidencyMode::Streamed => {
                 let mut splan = batch::max_batch_streamed_planned(
@@ -431,70 +467,189 @@ impl EigenPro2 {
                 Some(splan)
             }
         };
-        let (params, precond) = match &stream_plan {
-            None => {
-                if plan_at_f64 {
-                    let kernel64: Arc<dyn ep2_kernels::Kernel> =
-                        cfg.kernel.with_bandwidth(cfg.bandwidth).into();
-                    let (params, precond64) = autotune::plan(
-                        &kernel64,
-                        features,
-                        n_outputs,
-                        &self.device,
-                        cfg.subsample_size,
-                        cfg.q,
-                        cfg.batch_size,
-                        cfg.precision,
-                        cfg.seed,
-                    )?;
-                    (params, precond64.map(|p| p.cast::<S::Compute>()))
-                } else {
-                    let (params, precond) = autotune::plan(
-                        &kernel,
-                        &features_s,
-                        n_outputs,
-                        &self.device,
-                        cfg.subsample_size,
-                        cfg.q,
-                        cfg.batch_size,
-                        cfg.precision,
-                        cfg.seed,
-                    )?;
-                    (params, precond.map(precond_into_compute))
+        let centers: Arc<Matrix<S>> = Arc::new(features_s.into_owned());
+        // Steps 1–2 planning, re-callable: the graceful-degradation loop
+        // below may re-plan after a mid-setup allocation failure (in-core →
+        // streamed residency, or a narrower streamed tile).
+        type Planned<C> = Result<(AutoParams, Option<crate::Preconditioner<C>>), CoreError>;
+        let plan_with = |splan: Option<&batch::StreamedBatchPlan>| -> Planned<S::Compute> {
+            Ok(match splan {
+                None => {
+                    if plan_at_f64 {
+                        let kernel64: Arc<dyn ep2_kernels::Kernel> =
+                            cfg.kernel.with_bandwidth(cfg.bandwidth).into();
+                        let (params, precond64) = autotune::plan(
+                            &kernel64,
+                            features,
+                            n_outputs,
+                            &self.device,
+                            cfg.subsample_size,
+                            cfg.q,
+                            cfg.batch_size,
+                            cfg.precision,
+                            cfg.seed,
+                        )?;
+                        (params, precond64.map(|p| p.cast::<S::Compute>()))
+                    } else {
+                        let (params, precond) = autotune::plan(
+                            &kernel,
+                            &centers,
+                            n_outputs,
+                            &self.device,
+                            cfg.subsample_size,
+                            cfg.q,
+                            cfg.batch_size,
+                            cfg.precision,
+                            cfg.seed,
+                        )?;
+                        (params, precond.map(precond_into_compute))
+                    }
                 }
-            }
-            Some(splan) => {
-                if plan_at_f64 {
-                    let kernel64: Arc<dyn ep2_kernels::Kernel> =
-                        cfg.kernel.with_bandwidth(cfg.bandwidth).into();
-                    let (params, precond64) = autotune::plan_streamed(
-                        &kernel64,
-                        features,
-                        n_outputs,
-                        &self.device,
-                        cfg.subsample_size,
-                        cfg.q,
-                        splan,
-                        requested_producers,
-                        cfg.precision,
-                        cfg.seed,
-                    )?;
-                    (params, precond64.map(|p| p.cast::<S::Compute>()))
-                } else {
-                    let (params, precond) = autotune::plan_streamed(
-                        &kernel,
-                        &features_s,
-                        n_outputs,
-                        &self.device,
-                        cfg.subsample_size,
-                        cfg.q,
-                        splan,
-                        requested_producers,
-                        cfg.precision,
-                        cfg.seed,
-                    )?;
-                    (params, precond.map(precond_into_compute))
+                Some(splan) => {
+                    if plan_at_f64 {
+                        let kernel64: Arc<dyn ep2_kernels::Kernel> =
+                            cfg.kernel.with_bandwidth(cfg.bandwidth).into();
+                        let (params, precond64) = autotune::plan_streamed(
+                            &kernel64,
+                            features,
+                            n_outputs,
+                            &self.device,
+                            cfg.subsample_size,
+                            cfg.q,
+                            splan,
+                            requested_producers,
+                            cfg.precision,
+                            cfg.seed,
+                        )?;
+                        (params, precond64.map(|p| p.cast::<S::Compute>()))
+                    } else {
+                        let (params, precond) = autotune::plan_streamed(
+                            &kernel,
+                            &centers,
+                            n_outputs,
+                            &self.device,
+                            cfg.subsample_size,
+                            cfg.q,
+                            splan,
+                            requested_producers,
+                            cfg.precision,
+                            cfg.seed,
+                        )?;
+                        (params, precond.map(precond_into_compute))
+                    }
                 }
+            })
+        };
+        let (mut params, mut precond) = plan_with(stream_plan.as_ref())?;
+        // Enforce the Step-1 memory accounting on the device ledger, at the
+        // slot width of the chosen precision (f64 elements cost two
+        // f32-reference slots). In-core: the resident features (d·n) +
+        // weights (l·n) + the mini-batch kernel block (m·n). Streamed: the
+        // weights (l·n) + batch feature block (d·m) held here, plus the tile
+        // ring charged by the engine below. The guard is held for the whole
+        // training run (dropped explicitly after the last epoch), so the
+        // reservation provably spans every transient the loop charges.
+        //
+        // A `MemoryError` here does not abort the run: the loop degrades
+        // gracefully — an in-core residency that fails to allocate re-plans
+        // as streamed, and a streamed ring that fails to allocate narrows
+        // its tile (halving down to a 16-column floor) — recording each
+        // step in `degradations` so the report shows what happened.
+        let ledger = ep2_device::MemoryLedger::new(self.device.memory_floats);
+        let mut residency = residency;
+        let mut degradations: Vec<String> = Vec::new();
+        let mut executor = loop {
+            let built: Result<Executor<S>, ep2_device::MemoryError> = match &stream_plan {
+                None => {
+                    let resident_slots =
+                        ((d + n_outputs + params.m) * n) as f64 * cfg.precision.slot_factor();
+                    ledger
+                        .alloc(resident_slots)
+                        .map(|guard| Executor::InCore { _residency: guard })
+                }
+                Some(splan) => {
+                    let bplan = BlockPlan::from_streamed(n, d, n_outputs, splan, cfg.precision)
+                        .with_stream_threads(
+                            params
+                                .stream_threads
+                                .expect("plan_streamed always records the thread partition"),
+                        );
+                    ledger.alloc(bplan.static_slots()).and_then(|guard| {
+                        StreamEngine::new(Arc::clone(&kernel), Arc::clone(&centers), bplan, &ledger)
+                            .map(|engine| Executor::Streamed {
+                                engine: Box::new(engine),
+                                shape: ep2_device::cost::ProblemShape {
+                                    n,
+                                    m: params.m,
+                                    d,
+                                    l: n_outputs,
+                                    s: params.s,
+                                    q: params.adjusted_q,
+                                },
+                                _residency: guard,
+                            })
+                    })
+                }
+            };
+            match built {
+                Ok(executor) => break executor,
+                Err(e) => match &mut stream_plan {
+                    None => {
+                        let splan = batch::max_batch_streamed_planned(
+                            &self.device,
+                            n,
+                            d,
+                            n_outputs,
+                            cfg.precision,
+                            cfg.batch_size,
+                            requested_producers,
+                            ep2_runtime::current_threads(),
+                        )
+                        .map_err(|plan_err| CoreError::DeviceMemory {
+                            message: format!(
+                                "in-core residency allocation failed ({e}) and no streamed \
+                                 plan fits either: {plan_err}"
+                            ),
+                        })?;
+                        degradations.push(format!(
+                            "in-core residency allocation failed ({e}); re-planned to \
+                             streamed residency (tile {})",
+                            splan.n_tile
+                        ));
+                        residency = ResidencyMode::Streamed;
+                        stream_plan = Some(splan);
+                        let (p, pc) = plan_with(stream_plan.as_ref())?;
+                        params = p;
+                        precond = pc;
+                    }
+                    Some(splan) if splan.n_tile > 16 => {
+                        let narrowed = (splan.n_tile / 2).max(16);
+                        degradations.push(format!(
+                            "streamed allocation failed ({e}); narrowed tile {} -> {narrowed}",
+                            splan.n_tile
+                        ));
+                        splan.n_tile = narrowed;
+                        splan.resident_elements = batch::streamed_slots(
+                            n,
+                            d,
+                            n_outputs,
+                            splan.m,
+                            narrowed,
+                            splan.tiles_in_flight,
+                        );
+                        let (p, pc) = plan_with(stream_plan.as_ref())?;
+                        params = p;
+                        precond = pc;
+                    }
+                    Some(_) => {
+                        return Err(CoreError::DeviceMemory {
+                            message: format!(
+                                "{e} (streamed tile already at the 16-column floor; no \
+                                 degradation path left)"
+                            ),
+                        })
+                    }
+                },
             }
         };
         let m = params.m;
@@ -515,63 +670,9 @@ impl EigenPro2 {
             ),
             _ => params.eta,
         });
-
-        // Enforce the Step-1 memory accounting on the device ledger, at the
-        // slot width of the chosen precision (f64 elements cost two
-        // f32-reference slots). In-core: the resident features (d·n) +
-        // weights (l·n) + the mini-batch kernel block (m·n). Streamed: the
-        // weights (l·n) + batch feature block (d·m) held here, plus the tile
-        // ring charged by the engine below. The guard is held for the whole
-        // training run (dropped explicitly after the last epoch), so the
-        // reservation provably spans every transient the loop charges.
-        let ledger = ep2_device::MemoryLedger::new(self.device.memory_floats);
-        let centers: Arc<Matrix<S>> = Arc::new(features_s.into_owned());
-        let mut executor = match &stream_plan {
-            None => {
-                let resident_slots = ((d + n_outputs + m) * n) as f64 * cfg.precision.slot_factor();
-                let guard = ledger
-                    .alloc(resident_slots)
-                    .map_err(|e| CoreError::DeviceMemory {
-                        message: e.to_string(),
-                    })?;
-                Executor::InCore { _residency: guard }
-            }
-            Some(splan) => {
-                let bplan = BlockPlan::from_streamed(n, d, n_outputs, splan, cfg.precision)
-                    .with_stream_threads(
-                        params
-                            .stream_threads
-                            .expect("plan_streamed always records the thread partition"),
-                    );
-                let guard =
-                    ledger
-                        .alloc(bplan.static_slots())
-                        .map_err(|e| CoreError::DeviceMemory {
-                            message: e.to_string(),
-                        })?;
-                let engine =
-                    StreamEngine::new(Arc::clone(&kernel), Arc::clone(&centers), bplan, &ledger)
-                        .map_err(|e| CoreError::DeviceMemory {
-                            message: e.to_string(),
-                        })?;
-                Executor::Streamed {
-                    engine: Box::new(engine),
-                    shape: ep2_device::cost::ProblemShape {
-                        n,
-                        m,
-                        d,
-                        l: n_outputs,
-                        s: params.s,
-                        q: params.adjusted_q,
-                    },
-                    _residency: guard,
-                }
-            }
-        };
         let model = KernelModel::zeros_shared(kernel, centers, n_outputs);
         let mut iter = EigenProIteration::new(model, precond, eta);
         let mut clock = SimClock::new(self.device.clone(), cfg.device_mode);
-        let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x9E3779B9));
         let start = Instant::now();
 
         // Validation features cast into the training precision once
@@ -588,9 +689,84 @@ impl EigenPro2 {
         let mut best_val = f64::INFINITY;
         let mut since_best = 0usize;
         let mut stop_reason = StopReason::EpochsExhausted;
-        let mut indices: Vec<usize> = (0..n).collect();
         let mut prev_mse = f64::INFINITY;
         let mut eta_backoffs = 0_u32;
+        let mut rollbacks = 0_u32;
+        // Last healthy weights, refreshed at the checkpoint cadence: the
+        // divergence safeguard's rollback target, kept in memory even when
+        // no checkpoint directory is configured.
+        let mut last_good: Option<Matrix<S>> = None;
+        let mut start_epoch = 1_usize;
+        let mut resumed_from_epoch = None;
+        let fingerprint = plan_fingerprint(cfg, n, d, n_outputs, &params, residency);
+        let ckpt_kernel: Option<Arc<dyn ep2_kernels::Kernel>> = cfg
+            .checkpoint_dir
+            .as_ref()
+            .map(|_| cfg.kernel.with_bandwidth(cfg.bandwidth).into());
+        if let Some(dir) = &cfg.checkpoint_dir {
+            // Fail fast, before the expensive run: a checkpoint directory
+            // that cannot be created would otherwise degrade every epoch's
+            // snapshot into a warning.
+            std::fs::create_dir_all(dir).map_err(|e| CoreError::InvalidConfig {
+                message: format!("cannot create checkpoint directory {}: {e}", dir.display()),
+            })?;
+        }
+
+        if cfg.resume {
+            let dir = cfg
+                .checkpoint_dir
+                .as_deref()
+                .ok_or_else(|| CoreError::InvalidConfig {
+                    message: "resume requires checkpoint_dir".to_string(),
+                })?;
+            if let Some((path, ckpt_model, state)) = latest_valid_checkpoint(dir) {
+                if state.plan_fingerprint != fingerprint {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!(
+                            "checkpoint {} was written under a different plan \
+                             (fingerprint {:#018x}, this run {:#018x}); refusing to resume",
+                            path.display(),
+                            state.plan_fingerprint,
+                            fingerprint
+                        ),
+                    });
+                }
+                if state.history.len() as u64 != state.epochs_done
+                    || ckpt_model.n_centers() != n
+                    || ckpt_model.n_outputs() != n_outputs
+                {
+                    return Err(CoreError::InvalidConfig {
+                        message: format!(
+                            "checkpoint {} is inconsistent with this run's data",
+                            path.display()
+                        ),
+                    });
+                }
+                // Lossless: checkpoints store f64 weights widened from `S`,
+                // so casting back reproduces the stored values bit-for-bit.
+                *iter.model_mut().weights_mut() = ckpt_model.weights().cast();
+                iter.set_eta(state.eta);
+                *iter.counter_mut() = FlopCounter {
+                    sgd_ops: state.sgd_ops,
+                    precond_ops: state.precond_ops,
+                    iterations: state.iterations,
+                };
+                clock.restore(
+                    state.simulated_seconds,
+                    state.sim_launches,
+                    state.sim_total_ops,
+                );
+                epochs_out = state.history.clone();
+                best_val = state.best_val;
+                since_best = state.since_best as usize;
+                prev_mse = state.prev_mse;
+                eta_backoffs = state.eta_backoffs;
+                rollbacks = state.rollbacks;
+                last_good = Some(iter.model().weights().clone());
+                start_epoch = state.epochs_done as usize + 1;
+                resumed_from_epoch = Some(state.epochs_done as usize);
+            }
+        }
 
         // Streamed runs evaluate epoch metrics through the column-tiled
         // prediction path so the transient kernel panel stays within one
@@ -598,9 +774,29 @@ impl EigenPro2 {
         // break the very budget streaming exists to respect.
         let eval_tile = stream_plan.as_ref().map(|sp| (m.max(1), sp.n_tile));
 
-        'outer: for epoch in 1..=cfg.epochs {
+        'outer: for epoch in start_epoch..=cfg.epochs {
+            // Each epoch derives its shuffle from (seed, epoch) alone — not
+            // from a run-long RNG stream — so a resumed run at epoch e
+            // replays exactly the batches the uninterrupted run drew there.
+            let mut rng = StdRng::seed_from_u64(epoch_seed(cfg.seed, epoch as u64));
+            let mut indices: Vec<usize> = (0..n).collect();
             indices.shuffle(&mut rng);
-            executor.run_epoch(&mut iter, &targets_s, &indices, m, &mut clock);
+            if matches!(executor, Executor::Streamed { .. }) {
+                // A streamed epoch can still fail beyond what the pipeline's
+                // self-healing absorbs (every producer dead with the respawn
+                // budget exhausted): surface the panic as a typed error so
+                // callers can retry from the last checkpoint.
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    executor.run_epoch(&mut iter, &targets_s, &indices, m, &mut clock)
+                }));
+                if let Err(payload) = run {
+                    return Err(CoreError::Stream {
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            } else {
+                executor.run_epoch(&mut iter, &targets_s, &indices, m, &mut clock);
+            }
             let stats = epoch_stats(
                 epoch,
                 &iter,
@@ -615,16 +811,33 @@ impl EigenPro2 {
             // the unstable side — halve the step and continue. At paper
             // scale (s = 1.2e4) this never fires; it protects small-s runs.
             // A catastrophic blow-up (MSE far beyond the one-hot target
-            // scale) additionally restarts the weights from zero, since
-            // exponentially overgrown weights cannot be contracted back
-            // within any reasonable epoch budget.
-            if stats.train_mse > prev_mse * 1.2 && eta_backoffs < 16 {
+            // scale) additionally rolls the weights back to the last
+            // healthy snapshot (falling back to a zero restart when none
+            // exists yet), since exponentially overgrown weights cannot be
+            // contracted back within any reasonable epoch budget.
+            let diverged = stats.train_mse > prev_mse * 1.2;
+            if diverged && eta_backoffs < 16 {
                 iter.set_eta(iter.eta() * 0.5);
                 eta_backoffs += 1;
                 if !stats.train_mse.is_finite() || stats.train_mse > 100.0 {
-                    iter.model_mut().weights_mut().as_mut_slice().fill(S::ZERO);
+                    match &last_good {
+                        Some(weights) => {
+                            iter.model_mut()
+                                .weights_mut()
+                                .as_mut_slice()
+                                .copy_from_slice(weights.as_slice());
+                            rollbacks += 1;
+                        }
+                        None => iter.model_mut().weights_mut().as_mut_slice().fill(S::ZERO),
+                    }
                 }
             }
+            // "Healthy" is the bar for a state worth resuming from: finite
+            // and within the catastrophic-blow-up bound. A mild regression
+            // (the 1.2x divergence test above) still checkpoints — the
+            // halved η is part of the recorded state, so resuming from it
+            // continues the corrected trajectory.
+            let healthy = stats.train_mse.is_finite() && stats.train_mse <= 100.0;
             prev_mse = stats.train_mse.min(prev_mse);
             let reached_target = cfg
                 .target_train_mse
@@ -634,6 +847,7 @@ impl EigenPro2 {
                     (cfg.target_val_error, stats.val_error),
                     (Some(t), Some(ve)) if ve <= t
                 );
+            let mut stop = None;
             if let (Some(es), Some(ve)) = (cfg.early_stopping, stats.val_error) {
                 if ve < best_val - es.min_delta {
                     best_val = ve;
@@ -642,21 +856,68 @@ impl EigenPro2 {
                     since_best += 1;
                 }
                 if since_best >= es.patience {
-                    epochs_out.push(stats);
-                    stop_reason = StopReason::EarlyStopped;
-                    break 'outer;
+                    stop = Some(StopReason::EarlyStopped);
                 }
             }
+            if stop.is_none() && reached_target {
+                stop = Some(StopReason::TargetReached);
+            }
             epochs_out.push(stats);
-            if reached_target {
-                stop_reason = StopReason::TargetReached;
+            // Checkpoint cadence: only healthy epochs refresh the rollback
+            // snapshot and hit disk, so the newest checkpoint is always a
+            // state worth resuming from. A failed write warns and keeps
+            // training — the previous checkpoint survives intact (atomic
+            // rename), which is exactly the crash-consistency contract.
+            if healthy
+                && (epoch % cfg.checkpoint_every.max(1) == 0
+                    || stop.is_some()
+                    || epoch == cfg.epochs)
+            {
+                last_good = Some(iter.model().weights().clone());
+                if let (Some(dir), Some(k64)) = (&cfg.checkpoint_dir, &ckpt_kernel) {
+                    let state = TrainerState {
+                        epochs_done: epoch as u64,
+                        eta: iter.eta(),
+                        eta_backoffs,
+                        rollbacks,
+                        best_val,
+                        since_best: since_best as u64,
+                        prev_mse,
+                        sgd_ops: iter.counter().sgd_ops,
+                        precond_ops: iter.counter().precond_ops,
+                        iterations: iter.counter().iterations,
+                        simulated_seconds: clock.elapsed(),
+                        sim_launches: clock.launches(),
+                        sim_total_ops: clock.total_ops(),
+                        plan_fingerprint: fingerprint,
+                        precision: cfg.precision,
+                        history: epochs_out.clone(),
+                    };
+                    let snapshot = KernelModel::from_weights(
+                        Arc::clone(k64),
+                        features.clone(),
+                        iter.model().weights().cast(),
+                    );
+                    let path = dir.join(format!("ckpt-{epoch:06}.ep2"));
+                    if let Err(e) = persist::save_checkpoint(&snapshot, &state, &path) {
+                        eprintln!(
+                            "warning: checkpoint write failed at epoch {epoch} ({e}); \
+                             training continues"
+                        );
+                    }
+                }
+            }
+            if let Some(reason) = stop {
+                stop_reason = reason;
                 break 'outer;
             }
         }
 
-        // Training over: release the ring and the residency reservation,
-        // then audit the ledger — the whole run, tiles included, must have
-        // stayed within `S_G`.
+        // Training over: collect the self-healing log, release the ring and
+        // the residency reservation, then audit the ledger — the whole run,
+        // tiles included, must have stayed within `S_G`.
+        let stream_recoveries = executor.stream_recoveries();
+        degradations.extend(executor.stream_fault_log());
         drop(executor);
         let peak_slots = ledger.peak_slots();
         let budget_slots = ledger.budget();
@@ -678,6 +939,10 @@ impl EigenPro2 {
             residency,
             peak_slots,
             budget_slots,
+            rollbacks,
+            stream_recoveries,
+            degradations,
+            resumed_from_epoch,
         };
         Ok(TrainOutcome {
             model: into_f64_model(iter.into_model()),
@@ -707,6 +972,23 @@ enum Executor<S: Scalar> {
 }
 
 impl<S: Scalar> Executor<S> {
+    /// Dead producers the self-healing stream pipeline absorbed (0 for
+    /// in-core execution).
+    fn stream_recoveries(&self) -> usize {
+        match self {
+            Executor::InCore { .. } => 0,
+            Executor::Streamed { engine, .. } => engine.recoveries(),
+        }
+    }
+
+    /// Human-readable log of producer deaths the pipeline recovered from.
+    fn stream_fault_log(&self) -> Vec<String> {
+        match self {
+            Executor::InCore { .. } => Vec::new(),
+            Executor::Streamed { engine, .. } => engine.fault_log().to_vec(),
+        }
+    }
+
     /// Runs one epoch over the shuffled `indices` in mini-batches of `m`,
     /// recording every iteration's operation count on the simulated clock.
     fn run_epoch(
@@ -783,6 +1065,97 @@ fn into_f64_model<S: Scalar>(model: KernelModel<S>) -> KernelModel {
             .downcast_ref::<KernelModel<S>>()
             .expect("model has type KernelModel<S>")
             .cast(),
+    }
+}
+
+/// Splitmix64 over `(seed, epoch)`: every epoch's shuffle seed is derived
+/// independently of how many epochs ran before it, which is what makes
+/// checkpoint resume trajectory-exact.
+fn epoch_seed(seed: u64, epoch: u64) -> u64 {
+    let mut z = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a fingerprint of the executed plan. A checkpoint refuses to resume
+/// under a different fingerprint: same data shape, analytic parameters,
+/// kernel, precision, seed and residency — or nothing.
+fn plan_fingerprint(
+    cfg: &TrainConfig,
+    n: usize,
+    d: usize,
+    l: usize,
+    params: &AutoParams,
+    residency: ResidencyMode,
+) -> u64 {
+    let tag = format!(
+        "{:?}|{n}|{d}|{l}|{}|{}|{}|{:?}|{:016x}|{}|{residency:?}",
+        cfg.kernel,
+        params.m,
+        params.s,
+        params.adjusted_q,
+        cfg.precision,
+        cfg.bandwidth.to_bits(),
+        cfg.seed,
+    );
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in tag.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Finds the newest loadable checkpoint in `dir` (highest epoch whose file
+/// parses and passes its CRC). Torn or corrupt files — e.g. a crash mid
+/// `write(2)` before the atomic rename, or bit rot — are skipped with a
+/// warning, so recovery lands on the last *good* checkpoint.
+fn latest_valid_checkpoint(dir: &Path) -> Option<(PathBuf, KernelModel, TrainerState)> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(epoch) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".ep2"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((epoch, path));
+    }
+    found.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
+    for (_, path) in found {
+        match persist::load_checkpoint(&path) {
+            Ok((model, Some(state))) => return Some((path, model, state)),
+            Ok((_, None)) => {
+                eprintln!(
+                    "warning: {} carries no trainer state; skipping",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: skipping corrupt checkpoint {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+    None
+}
+
+/// Extracts the human-readable message from a `catch_unwind` payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "stream pipeline panicked".to_string()
     }
 }
 
@@ -1082,19 +1455,51 @@ mod tests {
     }
 
     #[test]
-    fn rejects_batch_override_exceeding_device_memory() {
+    fn batch_override_exceeding_in_core_degrades_to_streamed() {
         let data = catalog::mnist_like(200, 1);
         let (train, _) = data.split_at(200);
-        // Step 1 would size m to fit; an explicit full-batch override must
-        // be caught by the memory ledger instead. Sized so the dataset
-        // residency fits Step 1's f64 accounting ((d+l+1)·n·2 ≈ 318k slots)
-        // but the full-batch override ((d+l+200)·n·2 ≈ 398k) does not.
+        // Step 1 would size m to fit; an explicit full-batch override blows
+        // the in-core ledger instead. Sized so the dataset residency fits
+        // Step 1's f64 accounting ((d+l+1)·n·2 ≈ 318k slots) but the
+        // full-batch override ((d+l+200)·n·2 ≈ 398k) does not — the
+        // graceful-degradation loop must re-plan it as streamed (the
+        // streamed static set l·n + d·m ≈ 318k still fits) rather than
+        // abort the run.
         let tiny = ResourceSpec::new("tiny-mem", 1e12, 350_000.0, 1e12, 0.0);
+        let config = TrainConfig {
+            batch_size: Some(200),
+            epochs: 1,
+            ..quick_config()
+        };
+        let trainer = EigenPro2::new(config, tiny);
+        let out = trainer
+            .fit(&train, None)
+            .expect("degrades instead of aborting");
+        assert_eq!(out.report.residency, ResidencyMode::Streamed);
+        assert!(
+            out.report
+                .degradations
+                .iter()
+                .any(|d| d.contains("re-planned to streamed")),
+            "degradation log missing the re-plan: {:?}",
+            out.report.degradations
+        );
+        assert_eq!(out.report.params.m, 200, "override still honored");
+    }
+
+    #[test]
+    fn impossible_budget_is_still_rejected() {
+        let data = catalog::mnist_like(200, 1);
+        let (train, _) = data.split_at(200);
+        // Below even the streamed static set (l·n + d·m ≈ 318k f64 slots at
+        // the full-batch override) there is no degradation path left: the
+        // run must fail with a DeviceMemory error naming both dead ends.
+        let hopeless = ResourceSpec::new("hopeless-mem", 1e12, 300_000.0, 1e12, 0.0);
         let config = TrainConfig {
             batch_size: Some(200),
             ..quick_config()
         };
-        let trainer = EigenPro2::new(config, tiny);
+        let trainer = EigenPro2::new(config, hopeless);
         match trainer.fit(&train, None) {
             Err(CoreError::DeviceMemory { .. }) => {}
             other => panic!("expected DeviceMemory error, got {other:?}"),
@@ -1102,10 +1507,11 @@ mod tests {
     }
 
     #[test]
-    fn f32_fits_where_f64_exceeds_device_memory() {
+    fn f32_fits_in_core_where_f64_degrades_to_streamed() {
         // A device sized so the f32 residency fits but the f64 residency
-        // (2x the slots) does not: the precision knob is what makes the
-        // problem computable at all — Step 1's m^max_G doubling in action.
+        // (2x the slots) does not: the precision knob keeps the problem
+        // in-core — Step 1's m^max_G doubling in action — while the f64
+        // run survives only by degrading to the streamed residency.
         let data = catalog::susy_like(200, 1);
         let (train, _) = data.split_at(200);
         // Residency = (d + l + m) · n slots · slot_factor with d=18, l=2.
@@ -1123,13 +1529,24 @@ mod tests {
             precision,
             ..TrainConfig::default()
         };
-        let f64_run = EigenPro2::new(config(Precision::F64), spec.clone()).fit(&train, None);
+        let f64_run = EigenPro2::new(config(Precision::F64), spec.clone())
+            .fit(&train, None)
+            .expect("f64 degrades to streamed instead of aborting");
+        assert_eq!(f64_run.report.residency, ResidencyMode::Streamed);
         assert!(
-            matches!(f64_run, Err(CoreError::DeviceMemory { .. })),
-            "f64 residency must exceed the budget"
+            f64_run
+                .report
+                .degradations
+                .iter()
+                .any(|d| d.contains("re-planned to streamed")),
+            "degradation log missing the re-plan: {:?}",
+            f64_run.report.degradations
         );
-        let f32_run = EigenPro2::new(config(Precision::F32), spec).fit(&train, None);
-        assert!(f32_run.is_ok(), "f32 residency fits: {f32_run:?}");
+        let f32_run = EigenPro2::new(config(Precision::F32), spec)
+            .fit(&train, None)
+            .expect("f32 residency fits in-core");
+        assert_eq!(f32_run.report.residency, ResidencyMode::InCore);
+        assert!(f32_run.report.degradations.is_empty());
     }
 
     #[test]

@@ -58,6 +58,10 @@ struct LedgerState {
     budget: f64,
     in_use: f64,
     peak: f64,
+    /// Lifetime allocation count (1-based), consulted by the `alloc_fail`
+    /// failpoint so chaos tests can kill a *specific* allocation
+    /// deterministically.
+    allocs: u64,
 }
 
 /// A shared, thread-safe allocation ledger for one simulated device.
@@ -97,6 +101,7 @@ impl MemoryLedger {
                 budget,
                 in_use: 0.0,
                 peak: 0.0,
+                allocs: 0,
             })),
         }
     }
@@ -112,10 +117,16 @@ impl MemoryLedger {
             "slots must be non-negative"
         );
         let mut st = self.state.lock();
-        if st.in_use + slots > st.budget {
+        st.allocs += 1;
+        // `alloc_fail@step=k` fails this ledger's k-th allocation as if the
+        // budget were exhausted — the graceful-degradation paths (re-plan to
+        // streamed residency, narrow the tile) are tested through the same
+        // error they handle in production.
+        let injected = ep2_runtime::faults::fire_at("alloc_fail", st.allocs);
+        if injected || st.in_use + slots > st.budget {
             return Err(MemoryError {
                 requested: slots,
-                available: st.budget - st.in_use,
+                available: if injected { 0.0 } else { st.budget - st.in_use },
                 budget: st.budget,
                 peak: st.peak,
             });

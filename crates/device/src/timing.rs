@@ -142,6 +142,15 @@ impl SimClock {
         self.launches = 0;
         self.total_ops = 0.0;
     }
+
+    /// Restores the clock to a previously recorded state — used by
+    /// checkpoint resume so `simulated_seconds` continues the interrupted
+    /// trajectory instead of restarting at zero.
+    pub fn restore(&mut self, elapsed: f64, launches: u64, total_ops: f64) {
+        self.elapsed = elapsed;
+        self.launches = launches;
+        self.total_ops = total_ops;
+    }
 }
 
 /// Measures the host CPU's sustained dense-compute throughput (ops/s) with a

@@ -1,0 +1,240 @@
+//! Deterministic fault injection: a process-wide failpoint registry.
+//!
+//! Chaos testing is only useful when the chaos is *reproducible*: a producer
+//! that dies "sometimes" proves nothing, a producer that dies **exactly at
+//! tile seq 7** turns recovery into a property a test can pin. This module
+//! is the registry the whole workspace's failure hooks consult:
+//!
+//! - the stream producers ask [`fire_at`]`("producer_panic", seq)` before
+//!   assembling a tile,
+//! - the device memory ledger asks [`fire_at`]`("alloc_fail", k)` on its
+//!   `k`-th allocation,
+//! - the checkpoint writer asks [`payload`]`("torn_write")` for a byte
+//!   offset at which to "crash" mid-write.
+//!
+//! Failpoints are **disarmed by default** and cost one atomic load on the
+//! hot path ([`any_armed`] short-circuits every hook when the registry has
+//! never been armed). They arm two ways:
+//!
+//! 1. The `EP2_FAILPOINTS` environment variable, parsed once on first use:
+//!    `EP2_FAILPOINTS=producer_panic@tile=7,alloc_fail@step=3,torn_write@byte=128`
+//!    — a comma-separated list of `name[@key=value]` entries. The `key` is
+//!    documentation (what the value counts); only `name` and `value` are
+//!    semantic.
+//! 2. Programmatically via [`arm`], which returns a guard that disarms on
+//!    drop (tests arm failpoints for exactly their own scope).
+//!
+//! Every failpoint fires **once** per arming (one-shot): a respawned
+//! producer that re-executes the faulted tile must not die again, or
+//! bounded-retry recovery could never converge. [`fired`] reports how often
+//! a point fired, so tests can assert the fault actually happened.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// One armed failpoint.
+#[derive(Debug, Clone)]
+struct Point {
+    /// Trigger/payload value (`None` = fire on the first probe).
+    value: Option<u64>,
+    /// Times this point has fired since arming.
+    fired: u64,
+}
+
+/// Fast path: false until the first [`arm`] (env or programmatic), so
+/// unfaulted runs pay one relaxed load per hook and never lock.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> MutexGuard<'static, HashMap<String, Point>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Point>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| {
+            let mut map = HashMap::new();
+            if let Ok(spec) = std::env::var("EP2_FAILPOINTS") {
+                for (name, value) in parse_spec(&spec) {
+                    map.insert(name, Point { value, fired: 0 });
+                }
+                if !map.is_empty() {
+                    ANY_ARMED.store(true, Ordering::Release);
+                }
+            }
+            Mutex::new(map)
+        })
+        .lock()
+        // A panic *while armed* is exactly when chaos tests inspect the
+        // registry — poisoning must not cascade.
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Parses an `EP2_FAILPOINTS` specification: comma-separated
+/// `name[@key=value]` entries. Malformed entries are skipped (fault
+/// injection must never take a process down on its own).
+fn parse_spec(spec: &str) -> Vec<(String, Option<u64>)> {
+    spec.split(',')
+        .filter_map(|entry| {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return None;
+            }
+            match entry.split_once('@') {
+                None => Some((entry.to_string(), None)),
+                Some((name, arg)) => {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return None;
+                    }
+                    // `key=value` — the key only names what the value means.
+                    let value = arg.split_once('=').and_then(|(_, v)| v.trim().parse().ok());
+                    Some((name.to_string(), value))
+                }
+            }
+        })
+        .collect()
+}
+
+/// Whether any failpoint has ever been armed in this process. Hooks use
+/// this to skip the registry lock entirely on healthy runs.
+#[inline]
+pub fn any_armed() -> bool {
+    // The env spec lives in the registry's lazy init, but the whole point
+    // of this gate is to *not* touch the registry on the hot path — so the
+    // first probe must force that init once, or `EP2_FAILPOINTS` would
+    // never arm anything (every hook would short-circuit right here).
+    // After completion `call_once` is a single atomic load.
+    static ENV_INIT: std::sync::Once = std::sync::Once::new();
+    ENV_INIT.call_once(|| drop(registry()));
+    ANY_ARMED.load(Ordering::Acquire)
+}
+
+/// Guard returned by [`arm`]; disarms the failpoint when dropped.
+#[derive(Debug)]
+pub struct FaultGuard {
+    name: String,
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        registry().remove(&self.name);
+    }
+}
+
+/// Arms failpoint `name` with an optional trigger/payload `value`,
+/// replacing any previous arming. Returns a guard that disarms on drop.
+pub fn arm(name: &str, value: Option<u64>) -> FaultGuard {
+    registry().insert(name.to_string(), Point { value, fired: 0 });
+    ANY_ARMED.store(true, Ordering::Release);
+    FaultGuard {
+        name: name.to_string(),
+    }
+}
+
+/// Probes failpoint `name` with a counter `index`: returns `true` (and
+/// consumes the one shot) when the point is armed, has not fired yet, and
+/// its value is unset or equals `index`.
+pub fn fire_at(name: &str, index: u64) -> bool {
+    if !any_armed() {
+        return false;
+    }
+    let mut reg = registry();
+    let Some(point) = reg.get_mut(name) else {
+        return false;
+    };
+    if point.fired > 0 || point.value.is_some_and(|v| v != index) {
+        return false;
+    }
+    point.fired += 1;
+    true
+}
+
+/// Probes failpoint `name` for its payload value: returns `Some(value)`
+/// (and consumes the one shot) when armed with a value and not yet fired.
+pub fn payload(name: &str) -> Option<u64> {
+    if !any_armed() {
+        return None;
+    }
+    let mut reg = registry();
+    let point = reg.get_mut(name)?;
+    if point.fired > 0 {
+        return None;
+    }
+    let value = point.value?;
+    point.fired += 1;
+    Some(value)
+}
+
+/// How many times failpoint `name` has fired since it was (last) armed;
+/// 0 when never fired or not armed. Chaos tests assert the fault actually
+/// triggered, so a renamed hook cannot silently turn a chaos test into a
+/// plain happy-path run.
+pub fn fired(name: &str) -> u64 {
+    if !any_armed() {
+        return 0;
+    }
+    registry().get(name).map_or(0, |p| p.fired)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_points_never_fire() {
+        assert!(!fire_at("never_armed_point", 0));
+        assert_eq!(payload("never_armed_point"), None);
+        assert_eq!(fired("never_armed_point"), 0);
+    }
+
+    #[test]
+    fn fire_at_matches_index_once() {
+        let _g = arm("test_fire_at", Some(3));
+        assert!(!fire_at("test_fire_at", 2));
+        assert!(fire_at("test_fire_at", 3));
+        // One-shot: the same index does not fire twice.
+        assert!(!fire_at("test_fire_at", 3));
+        assert_eq!(fired("test_fire_at"), 1);
+    }
+
+    #[test]
+    fn unvalued_point_fires_on_first_probe() {
+        let _g = arm("test_unvalued", None);
+        assert!(fire_at("test_unvalued", 17));
+        assert!(!fire_at("test_unvalued", 17));
+    }
+
+    #[test]
+    fn payload_is_one_shot() {
+        let _g = arm("test_payload", Some(128));
+        assert_eq!(payload("test_payload"), Some(128));
+        assert_eq!(payload("test_payload"), None);
+        assert_eq!(fired("test_payload"), 1);
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        {
+            let _g = arm("test_guard", None);
+            assert_eq!(fired("test_guard"), 0);
+        }
+        assert!(!fire_at("test_guard", 0));
+    }
+
+    #[test]
+    fn spec_parsing_handles_the_documented_syntax() {
+        let parsed = parse_spec("producer_panic@tile=7, alloc_fail@step=3,torn_write@byte=128");
+        assert_eq!(
+            parsed,
+            vec![
+                ("producer_panic".to_string(), Some(7)),
+                ("alloc_fail".to_string(), Some(3)),
+                ("torn_write".to_string(), Some(128)),
+            ]
+        );
+        // Bare names, malformed values, and empty entries survive parsing.
+        let parsed = parse_spec("plain_point,,bad@tile=xyz,@tile=3");
+        assert_eq!(
+            parsed,
+            vec![("plain_point".to_string(), None), ("bad".to_string(), None),]
+        );
+    }
+}

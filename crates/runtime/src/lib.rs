@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 mod pool;
 
 pub use pool::{parallel_for, scope, TaskScope};

@@ -1,17 +1,90 @@
 //! The producer/consumer pipeline: tile assembly overlapped with the
 //! training update through two bounded channels and a recycled buffer ring.
+//!
+//! The pipeline is **self-healing**: every producer runs under a supervisor
+//! that catches its panics, repairs the pipeline's invariants (requeues the
+//! claimed-but-undelivered tile, restores the ring's buffer count), and
+//! respawns the producer with exponential backoff under a bounded retry
+//! budget. A producer panic therefore costs one tile retry, not the epoch;
+//! only when the budget is exhausted and every producer has exited does the
+//! consumer surface an error — one that names which producers died, on
+//! which tile seqs, and with what panic payloads.
 
 use std::collections::BTreeMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use crate::plan::BlockPlan;
 use crate::ring::{TileGuard, TileRing};
 use ep2_device::{MemoryError, MemoryLedger};
 use ep2_kernels::{matrix as kmat, Kernel};
 use ep2_linalg::{Matrix, Scalar};
+
+/// Respawn budget per epoch: each producer may die and be revived this many
+/// times before the epoch gives up. Bounded so a deterministic bug (which
+/// would panic identically on every retry) terminates with an error instead
+/// of looping forever.
+const RESPAWN_FACTOR: usize = 3;
+
+/// Locks a mutex, riding through poisoning: the pipeline's repair paths run
+/// exactly when a producer has panicked, so a poisoned lock is expected
+/// there, not fatal.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Record of one producer death observed (and repaired) by its supervisor.
+#[derive(Debug, Clone)]
+pub struct ProducerDeath {
+    /// Index of the producer task (0-based).
+    pub producer: usize,
+    /// How many times this producer had already died this epoch (0 = first).
+    pub incarnation: usize,
+    /// The tile seq the producer had claimed but not delivered, if any
+    /// (requeued for retry by the supervisor).
+    pub seq: Option<usize>,
+    /// The panic payload.
+    pub message: String,
+    /// Whether retry budget remained, so the supervisor revived the
+    /// producer.
+    pub respawned: bool,
+}
+
+impl std::fmt::Display for ProducerDeath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "producer {} died", self.producer)?;
+        match self.seq {
+            Some(seq) => write!(f, " at tile seq {seq}")?,
+            None => write!(f, " between tiles")?,
+        }
+        write!(
+            f,
+            " (incarnation {}, {}): {}",
+            self.incarnation,
+            if self.respawned {
+                "respawned"
+            } else {
+                "retry budget exhausted"
+            },
+            self.message
+        )
+    }
+}
 
 /// One assembled tile travelling producer → consumer.
 struct Filled<S: Scalar> {
@@ -26,6 +99,26 @@ struct Task {
     batch: usize,
     col0: usize,
     col1: usize,
+}
+
+/// Per-epoch state shared between the producers, their supervisors, and the
+/// consumer.
+struct EpochShared<S: Scalar> {
+    /// Next fresh tile seq to claim (may overrun `total`; overruns are
+    /// harmless).
+    next_task: AtomicUsize,
+    /// Tile seqs reclaimed from dead producers, awaiting redistribution.
+    retry: Mutex<Vec<usize>>,
+    /// Tiles successfully handed to the consumer channel.
+    done: AtomicUsize,
+    /// Total tiles this epoch.
+    total: usize,
+    /// Producer revivals remaining this epoch.
+    respawns_left: AtomicIsize,
+    /// Every death the supervisors observed this epoch.
+    deaths: Mutex<Vec<ProducerDeath>>,
+    /// The shared end of the empty-buffer channel.
+    empty_rx: Mutex<Receiver<Vec<S>>>,
 }
 
 /// The out-of-core streaming engine: assembles `m x n_tile` kernel-block
@@ -48,6 +141,11 @@ pub struct StreamEngine<S: Scalar> {
     /// producer beyond the first keeps its own `m x d` feature cache);
     /// `None` with the default single producer.
     _staging: Option<ep2_device::memory::Allocation>,
+    /// Producer panics survived (tile requeued, producer revived or its work
+    /// redistributed) across this engine's epochs.
+    recoveries: usize,
+    /// Human-readable log of the deaths behind [`StreamEngine::recoveries`].
+    fault_log: Vec<String>,
 }
 
 impl<S: Scalar> std::fmt::Debug for StreamEngine<S> {
@@ -112,6 +210,8 @@ impl<S: Scalar> StreamEngine<S> {
             ring,
             producers,
             _staging: staging,
+            recoveries: 0,
+            fault_log: Vec::new(),
         })
     }
 
@@ -125,6 +225,18 @@ impl<S: Scalar> StreamEngine<S> {
         self.producers
     }
 
+    /// Producer panics this engine has survived across all epochs so far
+    /// (each one cost a tile retry, not the epoch).
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// One entry per recovered producer death: who died, on which tile seq,
+    /// with what panic payload.
+    pub fn fault_log(&self) -> &[String] {
+        &self.fault_log
+    }
+
     /// Streams one epoch: for every mini-batch `b` (row indices into the
     /// centers), the producers assemble the batch's kernel-block tiles into
     /// ring buffers while `consume(b, tiles)` drains them **in column
@@ -135,10 +247,18 @@ impl<S: Scalar> StreamEngine<S> {
     /// A consumer that stops iterating early still returns its buffers (the
     /// stream drains itself on drop), so the engine is reusable afterwards.
     ///
+    /// Producer panics do **not** end the epoch: each producer's supervisor
+    /// requeues the lost tile, restores the ring, and revives the producer
+    /// under a bounded retry budget (`RESPAWN_FACTOR` revivals per
+    /// producer per epoch). Survived deaths are tallied in
+    /// [`StreamEngine::recoveries`] and [`StreamEngine::fault_log`].
+    ///
     /// # Panics
     ///
-    /// Panics if a batch index is out of range, a producer thread dies, or
-    /// a consumer leaks a [`TileGuard`] past the end of the epoch.
+    /// Panics if a batch index is out of range, a consumer leaks a
+    /// [`TileGuard`] past the end of the epoch, or every producer has died
+    /// with the retry budget exhausted — the panic message then reports
+    /// which producers died, on which tile seqs, and why.
     pub fn run_epoch<F>(&mut self, batches: &[&[usize]], mut consume: F)
     where
         F: FnMut(usize, &mut TileStream<'_, S>),
@@ -164,8 +284,20 @@ impl<S: Scalar> StreamEngine<S> {
         for buf in self.ring.take_buffers() {
             empty_tx.send(buf).expect("fresh channel accepts the ring");
         }
-        let empty_rx = Mutex::new(empty_rx);
-        let next_task = AtomicUsize::new(0);
+        // The `respawn_budget` failpoint overrides the revival budget so
+        // chaos tests can exercise the budget-exhausted error path without
+        // needing RESPAWN_FACTOR·producers distinct panics.
+        let respawns = ep2_runtime::faults::payload("respawn_budget")
+            .map_or((RESPAWN_FACTOR * self.producers) as isize, |v| v as isize);
+        let shared = EpochShared {
+            next_task: AtomicUsize::new(0),
+            retry: Mutex::new(Vec::new()),
+            done: AtomicUsize::new(0),
+            total: tasks.len(),
+            respawns_left: AtomicIsize::new(respawns),
+            deaths: Mutex::new(Vec::new()),
+            empty_rx: Mutex::new(empty_rx),
+        };
 
         // Producers run as runtime stage tasks under the plan's per-producer
         // assembly budget; the consumer (this thread) runs under the update
@@ -174,15 +306,14 @@ impl<S: Scalar> StreamEngine<S> {
         // instead of each layer threading independently.
         let thread_plan = self.plan.threads;
         ep2_runtime::scope(|scope| {
-            for _ in 0..self.producers {
+            for id in 0..self.producers {
                 let filled_tx = filled_tx.clone();
                 let empty_tx = empty_tx.clone();
-                let empty_rx = &empty_rx;
-                let next_task = &next_task;
+                let shared = &shared;
                 let tasks = &tasks;
                 let engine = &*self;
                 scope.spawn(thread_plan.producer_threads, move || {
-                    engine.produce(batches, tasks, next_task, empty_rx, &empty_tx, &filled_tx);
+                    engine.supervise(id, batches, tasks, shared, &empty_tx, &filled_tx);
                 });
             }
             drop(filled_tx);
@@ -194,6 +325,7 @@ impl<S: Scalar> StreamEngine<S> {
                         filled: &filled_rx,
                         pending: &mut pending,
                         recycle: &empty_tx,
+                        deaths: &shared.deaths,
                         next_seq: bi * tiles_per_batch,
                         end_seq: (bi + 1) * tiles_per_batch,
                     };
@@ -206,12 +338,83 @@ impl<S: Scalar> StreamEngine<S> {
         // Producers have exited and every guard is dropped: the buffers are
         // all back in the empty channel. Reclaim them for the next epoch.
         drop(empty_tx);
-        let buffers: Vec<Vec<S>> = empty_rx
-            .into_inner()
-            .expect("no panic held the receiver")
-            .try_iter()
-            .collect();
+        let buffers: Vec<Vec<S>> = lock(&shared.empty_rx).try_iter().collect();
         self.ring.restore(buffers);
+        // The epoch completed, so every recorded death was survived: tally
+        // it as a recovery.
+        let deaths = shared
+            .deaths
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.recoveries += deaths.len();
+        self.fault_log
+            .extend(deaths.iter().map(ProducerDeath::to_string));
+    }
+
+    /// Supervisor for one producer: runs the producer loop, catches its
+    /// panics, repairs the pipeline (requeue the claimed tile, restore the
+    /// ring's buffer count), and revives the producer with exponential
+    /// backoff while the epoch's retry budget lasts. With the budget
+    /// exhausted the supervisor exits; surviving producers pick up the
+    /// requeued tile, and if none survive the consumer reports the deaths.
+    fn supervise(
+        &self,
+        id: usize,
+        batches: &[&[usize]],
+        tasks: &[Task],
+        shared: &EpochShared<S>,
+        empty_tx: &SyncSender<Vec<S>>,
+        filled_tx: &SyncSender<Filled<S>>,
+    ) {
+        let mut incarnation = 0usize;
+        loop {
+            // usize::MAX = no tile claimed; set after a claim, cleared once
+            // the tile is delivered (or the buffer returned).
+            let in_flight = AtomicUsize::new(usize::MAX);
+            let holds_buffer = AtomicBool::new(false);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                self.produce(
+                    batches,
+                    tasks,
+                    shared,
+                    &in_flight,
+                    &holds_buffer,
+                    empty_tx,
+                    filled_tx,
+                )
+            }));
+            let Err(payload) = result else { return };
+            // Repair order matters: requeue the lost tile *before* restoring
+            // the ring count, so a peer woken by the replacement buffer
+            // already sees the retry.
+            let seq = match in_flight.load(Ordering::SeqCst) {
+                usize::MAX => None,
+                s => Some(s),
+            };
+            if let Some(seq) = seq {
+                lock(&shared.retry).push(seq);
+            }
+            if holds_buffer.load(Ordering::SeqCst) {
+                // The panicking producer dropped its ring buffer during
+                // unwinding; hand in a fresh one so the ring stays whole
+                // (the ledger charge lives in the ring, not the Vec, so
+                // accounting is unchanged).
+                let _ = empty_tx.send(Vec::new());
+            }
+            let respawned = shared.respawns_left.fetch_sub(1, Ordering::SeqCst) > 0;
+            lock(&shared.deaths).push(ProducerDeath {
+                producer: id,
+                incarnation,
+                seq,
+                message: panic_message(payload.as_ref()),
+                respawned,
+            });
+            if !respawned {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1 << incarnation.min(4)));
+            incarnation += 1;
+        }
     }
 
     /// Producer loop: acquire a free buffer, claim the next task in
@@ -225,12 +428,14 @@ impl<S: Scalar> StreamEngine<S> {
     /// producer can fill every buffer with future tiles the consumer must
     /// stash while the tile it actually needs has no buffer left to be
     /// assembled into.)
+    #[allow(clippy::too_many_arguments)] // the supervisor's repair state, 1:1
     fn produce(
         &self,
         batches: &[&[usize]],
         tasks: &[Task],
-        next_task: &AtomicUsize,
-        empty_rx: &Mutex<Receiver<Vec<S>>>,
+        shared: &EpochShared<S>,
+        in_flight: &AtomicUsize,
+        holds_buffer: &AtomicBool,
         empty_tx: &SyncSender<Vec<S>>,
         filled_tx: &SyncSender<Filled<S>>,
     ) {
@@ -241,15 +446,47 @@ impl<S: Scalar> StreamEngine<S> {
             // Blocking on an empty ring is the backpressure: assembly stalls
             // until the consumer recycles a buffer.
             let mut buf = {
-                let rx = empty_rx.lock().expect("empty-channel receiver");
+                let rx = lock(&shared.empty_rx);
                 rx.recv().expect("ring alive while the engine runs")
             };
-            let seq = next_task.fetch_add(1, Ordering::Relaxed);
-            let Some(task) = tasks.get(seq) else {
-                // No work left: hand the buffer back for the epilogue drain.
+            holds_buffer.store(true, Ordering::SeqCst);
+            // Claim a tile: one requeued from a dead peer first, else the
+            // next fresh seq. A producer with nothing to claim while tiles
+            // are still undelivered does NOT exit — a peer may yet die and
+            // requeue its tile — it parks briefly and re-checks, leaving
+            // only once every tile has been handed to the consumer channel.
+            let mut claimed = None;
+            while claimed.is_none() {
+                if let Some(seq) = lock(&shared.retry).pop() {
+                    claimed = Some(seq);
+                    break;
+                }
+                let seq = shared.next_task.fetch_add(1, Ordering::Relaxed);
+                if seq < shared.total {
+                    claimed = Some(seq);
+                    break;
+                }
+                if shared.done.load(Ordering::SeqCst) >= shared.total {
+                    break;
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            let Some(seq) = claimed else {
+                // Every tile delivered: hand the buffer back for the
+                // epilogue drain and exit.
+                holds_buffer.store(false, Ordering::SeqCst);
                 let _ = empty_tx.send(buf);
                 break;
             };
+            in_flight.store(seq, Ordering::SeqCst);
+            // `producer_panic@tile=seq` kills this producer exactly here —
+            // after the claim, before assembly — the worst spot: the tile is
+            // claimed, the buffer is held, and the consumer is waiting on
+            // this very seq.
+            if ep2_runtime::faults::fire_at("producer_panic", seq as u64) {
+                panic!("injected fault: producer_panic at tile seq {seq}");
+            }
+            let task = &tasks[seq];
             let fresh = match &cached {
                 Some((bi, _, _)) => *bi != task.batch,
                 None => true,
@@ -285,9 +522,15 @@ impl<S: Scalar> StreamEngine<S> {
             }) {
                 // Consumer hung up early; recover the buffer so the ring
                 // stays whole, then stop.
+                in_flight.store(usize::MAX, Ordering::SeqCst);
+                holds_buffer.store(false, Ordering::SeqCst);
                 let _ = empty_tx.send(err.0.block.into_vec());
                 break;
             }
+            // Delivered: ownership of the buffer moved to the consumer.
+            holds_buffer.store(false, Ordering::SeqCst);
+            in_flight.store(usize::MAX, Ordering::SeqCst);
+            shared.done.fetch_add(1, Ordering::SeqCst);
         }
     }
 }
@@ -300,6 +543,9 @@ pub struct TileStream<'a, S: Scalar> {
     filled: &'a Receiver<Filled<S>>,
     pending: &'a mut BTreeMap<usize, Filled<S>>,
     recycle: &'a SyncSender<Vec<S>>,
+    /// The epoch's death log, consulted to name the culprits when the
+    /// producers are all gone with tiles still undelivered.
+    deaths: &'a Mutex<Vec<ProducerDeath>>,
     next_seq: usize,
     end_seq: usize,
 }
@@ -324,10 +570,29 @@ impl<S: Scalar> Iterator for TileStream<'_, S> {
         let filled = match self.pending.remove(&want) {
             Some(f) => f,
             None => loop {
-                let f = self
-                    .filled
-                    .recv()
-                    .expect("tile producer died before finishing the epoch");
+                // A closed channel means every producer (and every
+                // supervisor revival) has exited with this tile still
+                // undelivered. Report *which* producers died, where, and
+                // why — not just that one did.
+                let f = match self.filled.recv() {
+                    Ok(f) => f,
+                    Err(_) => {
+                        let deaths = lock(self.deaths);
+                        let detail = if deaths.is_empty() {
+                            "no producer deaths were recorded".to_string()
+                        } else {
+                            deaths
+                                .iter()
+                                .map(ProducerDeath::to_string)
+                                .collect::<Vec<_>>()
+                                .join("; ")
+                        };
+                        panic!(
+                            "stream pipeline failed: all tile producers exited with tile \
+                             seq {want} still undelivered — {detail}"
+                        );
+                    }
+                };
                 if f.seq == want {
                     break f;
                 }

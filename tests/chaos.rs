@@ -1,0 +1,174 @@
+//! Chaos suite: deterministic fault injection against the self-healing
+//! stream pipeline.
+//!
+//! The acceptance property is that a producer panic mid-epoch costs a
+//! retry, not the epoch: the supervisor requeues the claimed tile,
+//! respawns (or lets a surviving peer absorb) the work, and the epoch's
+//! weights come out **bit-for-bit equal** to an unfaulted run — tiles are
+//! applied in sequence order, so recovery cannot reorder the arithmetic.
+//! With the respawn budget forced to zero and a single producer, the
+//! failure surfaces as a `CoreError::Stream` naming which producer died
+//! on which tile seq, not as an anonymous panic.
+//!
+//! The failpoint registry is process-global; every test holds `LOCK`.
+
+use std::sync::Mutex;
+
+use eigenpro2::core::trainer::{EigenPro2, TrainConfig, TrainOutcome};
+use eigenpro2::core::CoreError;
+use eigenpro2::data::{catalog, Dataset};
+use eigenpro2::device::{Precision, ResidencyMode, ResourceSpec};
+use eigenpro2::kernels::KernelKind;
+use eigenpro2::runtime::faults;
+
+mod common;
+use common::precision_selected;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn streamed_config(precision: Precision, producers: Option<usize>) -> TrainConfig {
+    TrainConfig {
+        kernel: KernelKind::Gaussian,
+        bandwidth: 4.0,
+        epochs: 2,
+        subsample_size: Some(60),
+        batch_size: Some(48),
+        early_stopping: None,
+        precision,
+        residency: Some(ResidencyMode::Streamed),
+        // Narrow tiles so every mini-batch spans several tile seqs and the
+        // faulted seq is mid-stream, not the last tile.
+        stream_tile: Some(64),
+        stream_producers: producers,
+        ..TrainConfig::default()
+    }
+}
+
+fn fit(train: &Dataset, cfg: TrainConfig) -> Result<TrainOutcome, CoreError> {
+    EigenPro2::new(cfg, ResourceSpec::scaled_virtual_gpu()).fit(train, None)
+}
+
+fn producer_panic_recovers_for(precision: Precision) {
+    let train = catalog::susy_like(300, 11);
+    let clean = fit(&train, streamed_config(precision, None)).expect("unfaulted run trains");
+
+    // Kill a producer exactly at tile seq 1: after the claim, before
+    // assembly — the consumer is already waiting on that very tile.
+    let guard = faults::arm("producer_panic", Some(1));
+    let faulted = fit(&train, streamed_config(precision, None)).expect("faulted run still trains");
+    assert_eq!(faults::fired("producer_panic"), 1, "failpoint did not fire");
+    drop(guard);
+
+    assert!(
+        faulted.report.stream_recoveries >= 1,
+        "the recovery was not recorded"
+    );
+    assert!(
+        faulted
+            .report
+            .degradations
+            .iter()
+            .any(|d| d.contains("died at tile seq 1")),
+        "fault log missing the death: {:?}",
+        faulted.report.degradations
+    );
+    let wa = clean.model.weights().as_slice();
+    let wb = faulted.model.weights().as_slice();
+    assert_eq!(wa.len(), wb.len());
+    for (i, (x, y)) in wa.iter().zip(wb).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "weight {i} differs after recovery ({x:e} vs {y:e})"
+        );
+    }
+}
+
+#[test]
+fn producer_panic_mid_epoch_is_absorbed_bitwise() {
+    let _g = lock();
+    for precision in [Precision::F32, Precision::F64, Precision::Bf16] {
+        if precision_selected(precision) {
+            producer_panic_recovers_for(precision);
+        }
+    }
+}
+
+#[test]
+fn surviving_producers_absorb_an_unrevivable_death() {
+    let _g = lock();
+    let train = catalog::susy_like(300, 11);
+    let clean = fit(&train, streamed_config(Precision::F64, Some(2))).expect("unfaulted run");
+
+    // Budget zero: the dead producer stays dead, but its peer picks up the
+    // requeued tile and the epoch still completes identically.
+    let g1 = faults::arm("producer_panic", Some(0));
+    let g2 = faults::arm("respawn_budget", Some(0));
+    let faulted =
+        fit(&train, streamed_config(Precision::F64, Some(2))).expect("peer absorbs the tile");
+    assert_eq!(faults::fired("producer_panic"), 1, "failpoint did not fire");
+    drop(g2);
+    drop(g1);
+
+    assert!(faulted.report.stream_recoveries >= 1);
+    for (x, y) in clean
+        .model
+        .weights()
+        .as_slice()
+        .iter()
+        .zip(faulted.model.weights().as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn exhausted_respawn_budget_names_the_culprit() {
+    let _g = lock();
+    let train = catalog::susy_like(300, 11);
+    // One producer, zero respawns: the death is unrecoverable and must
+    // surface as a structured error saying who died where — the satellite
+    // fix for the old anonymous "tile producer died" expect().
+    let g1 = faults::arm("producer_panic", Some(1));
+    let g2 = faults::arm("respawn_budget", Some(0));
+    let err = fit(&train, streamed_config(Precision::F64, Some(1)))
+        .expect_err("no producers left must fail the epoch");
+    drop(g2);
+    drop(g1);
+
+    assert!(
+        matches!(err, CoreError::Stream { .. }),
+        "expected CoreError::Stream, got {err:?}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("producer 0 died"),
+        "who died is missing: {msg}"
+    );
+    assert!(
+        msg.contains("tile seq 1"),
+        "where it died is missing: {msg}"
+    );
+    assert!(
+        msg.contains("retry budget exhausted"),
+        "why recovery stopped is missing: {msg}"
+    );
+}
+
+#[test]
+fn env_spec_arming_matches_the_documented_syntax() {
+    // The CI chaos job arms failpoints via EP2_FAILPOINTS; this pins the
+    // programmatic equivalent of the documented spec so a parser change
+    // cannot silently turn the chaos matrix into happy-path runs.
+    let _g = lock();
+    let guard = faults::arm("spec_check", Some(7));
+    assert!(!faults::fire_at("spec_check", 3));
+    assert!(faults::fire_at("spec_check", 7));
+    assert!(!faults::fire_at("spec_check", 7), "failpoints are one-shot");
+    drop(guard);
+}

@@ -1,0 +1,28 @@
+//! `EP2_FAILPOINTS` must arm the registry on the *first probe* — without
+//! any programmatic `arm()` touching it first. This lives in its own test
+//! binary so the process is guaranteed fresh: the regression it pins is
+//! exactly "the `any_armed` fast path short-circuits before the env spec
+//! is ever parsed", which only a first-touch probe can observe.
+
+use eigenpro2::runtime::faults;
+
+#[test]
+fn env_spec_arms_on_first_probe() {
+    // Safe in edition 2021; set before anything touches the registry.
+    std::env::set_var(
+        "EP2_FAILPOINTS",
+        "env_probe_point@tile=2, env_payload_point@byte=96",
+    );
+    // The very first interrogation goes through the `any_armed` fast path.
+    assert!(
+        faults::any_armed(),
+        "EP2_FAILPOINTS did not arm the registry on first probe"
+    );
+    assert!(!faults::fire_at("env_probe_point", 1));
+    assert!(faults::fire_at("env_probe_point", 2));
+    assert!(!faults::fire_at("env_probe_point", 2), "one-shot");
+    assert_eq!(faults::fired("env_probe_point"), 1);
+    assert_eq!(faults::payload("env_payload_point"), Some(96));
+    assert_eq!(faults::payload("env_payload_point"), None, "one-shot");
+    assert!(!faults::fire_at("never_armed_point", 0));
+}

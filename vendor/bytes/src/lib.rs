@@ -23,6 +23,13 @@ pub trait Buf {
     /// Panics if fewer bytes remain.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
     /// Reads a little-endian `u16`.
     fn get_u16_le(&mut self) -> u16 {
         let mut b = [0u8; 2];
@@ -78,6 +85,11 @@ impl Buf for &[u8] {
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
 
     /// Appends a little-endian `u16`.
     fn put_u16_le(&mut self, v: u16) {
