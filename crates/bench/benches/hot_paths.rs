@@ -322,6 +322,75 @@ fn bench_assembly_fused(_c: &mut Criterion) {
     write_bench_json(&records);
 }
 
+/// The vectorized-transcendental acceptance bench: per-family fused
+/// kernel-cross assembly with the lane-batched `vmath` profile against the
+/// identical assembly forced through scalar libm via
+/// [`ep2_linalg::vmath::set_precise_math`] — the pre-vectorization hot
+/// path, measured in the same binary. Reports whole-assembly entries/s
+/// (GEMM + d² reassembly + profile + narrowing) and the scalar/vectorized
+/// ratio at the paper's feature widths, for the two families whose
+/// profiles are transcendental-bound (Gaussian: one `exp`; Laplacian:
+/// `sqrt` then `exp`).
+fn bench_assembly_vectorized_math(_c: &mut Criterion) {
+    use ep2_linalg::vmath;
+
+    fn legs<S: ep2_linalg::Scalar>(
+        kind: KernelKind,
+        a: &Matrix<S>,
+        b: &Matrix<S>,
+        samples: usize,
+    ) -> (f64, f64) {
+        let kernel: Arc<dyn Kernel<S>> = kind.with_bandwidth_in::<S>(5.0).into();
+        let a_sq = kmat::row_sq_norms(a);
+        let b_sq = kmat::row_sq_norms(b);
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        vmath::set_precise_math(false);
+        let vectorized = time_min(samples, || {
+            kmat::kernel_cross_into(&*kernel, a, b, &a_sq, &b_sq, &mut out)
+        });
+        vmath::set_precise_math(true);
+        let scalar = time_min(samples, || {
+            kmat::kernel_cross_into(&*kernel, a, b, &a_sq, &b_sq, &mut out)
+        });
+        vmath::set_precise_math(false);
+        (vectorized, scalar)
+    }
+
+    let n: usize = if criterion::smoke_mode() { 256 } else { 4_000 };
+    let samples = if criterion::smoke_mode() { 1 } else { 3 };
+    let entries = (n * n) as f64;
+    let mut records = Vec::new();
+    for kind in [KernelKind::Gaussian, KernelKind::Laplacian] {
+        let family = format!("{kind:?}").to_lowercase();
+        for &d in &[256usize, 440] {
+            let x64 = lcg_matrix(n, d, 9);
+            let y64 = lcg_matrix(n, d, 10);
+            let x32: Matrix<f32> = x64.cast();
+            let y32: Matrix<f32> = y64.cast();
+            let (vec64, sc64) = legs::<f64>(kind, &x64, &y64, samples);
+            let (vec32, sc32) = legs::<f32>(kind, &x32, &y32, samples);
+            for (precision, vectorized, scalar) in [("f64", vec64, sc64), ("f32", vec32, sc32)] {
+                println!(
+                    "bench assembly_throughput/{family}/{n}x{n} d={d} {precision}  \
+                     vectorized {vectorized:.4}s ({:.1}M entries/s)  \
+                     scalar-libm {scalar:.4}s  speedup {:.2}x",
+                    entries / vectorized / 1e6,
+                    scalar / vectorized
+                );
+                records.push(format!(
+                    "    {{\"op\": \"assembly_throughput\", \"kernel\": \"{family}\", \
+                     \"n\": {n}, \"d\": {d}, \"precision\": \"{precision}\", \
+                     \"vectorized_s\": {vectorized:.4}, \"scalar_s\": {scalar:.4}, \
+                     \"entries_per_s\": {:.4e}, \"vectorized_speedup\": {:.3}}}",
+                    entries / vectorized,
+                    scalar / vectorized
+                ));
+            }
+        }
+    }
+    write_bench_json(&records);
+}
+
 /// The seed (pre-packing) `gemm_nt`: per-entry dot products, exactly the
 /// loop the kernel-assembly cross-term ran before the packed engine. Kept
 /// here so the epoch-time comparison can price the old hot loop on today's
@@ -805,6 +874,7 @@ criterion_group!(
     bench_kernel_assembly,
     bench_assembly_packed,
     bench_assembly_fused,
+    bench_assembly_vectorized_math,
     bench_epoch_time,
     bench_streamed_epoch,
     bench_streamed_bf16_tile,

@@ -66,6 +66,9 @@ fault-tolerance options (train):
   --checkpoint-dir <dir>   write atomic checkpoints (ckpt-NNNNNN.ep2) with
                            the full trainer state after each healthy epoch
   --checkpoint-every <k>   checkpoint every k-th epoch       (default 1)
+  --checkpoint-keep <k>    keep only the newest k checkpoints, pruning
+                           older ones after each successful atomic write
+                           (default: keep all)
   --resume                 continue from the latest valid checkpoint in
                            --checkpoint-dir; the resumed trajectory is
                            bit-for-bit identical to an uninterrupted run
@@ -485,6 +488,7 @@ fn train(parsed: &Parsed) -> Result<(), String> {
             .map(std::path::PathBuf::from),
         checkpoint_every: parsed.get_or("checkpoint-every", 1)?,
         resume: parsed.flag("resume"),
+        checkpoint_keep: parsed.get_opt("checkpoint-keep")?,
     };
     if config.resume && config.checkpoint_dir.is_none() {
         return Err("--resume requires --checkpoint-dir".to_string());

@@ -169,6 +169,12 @@ pub struct TrainConfig {
     /// checkpoint, so an uninterrupted run and a killed-and-resumed run
     /// produce bit-identical weights and reports at equal total epochs.
     pub resume: bool,
+    /// Retention bound for on-disk checkpoints: keep only the newest `k`
+    /// `ckpt-*.ep2` files, pruning older ones **after** each successful
+    /// atomic checkpoint write (never mid-write, so the file a crashed
+    /// resume would fall back to is always intact). `None` keeps every
+    /// checkpoint; values are clamped to at least 1.
+    pub checkpoint_keep: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -193,6 +199,7 @@ impl Default for TrainConfig {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
+            checkpoint_keep: None,
         }
     }
 }
@@ -904,6 +911,12 @@ impl EigenPro2 {
                             "warning: checkpoint write failed at epoch {epoch} ({e}); \
                              training continues"
                         );
+                    } else if let Some(keep) = cfg.checkpoint_keep {
+                        // Prune only after the atomic write landed: the
+                        // newest file is durable before any older one is
+                        // deleted, so a crash at any point still leaves a
+                        // resumable checkpoint on disk.
+                        prune_checkpoints(dir, keep.max(1));
                     }
                 }
             }
@@ -1146,6 +1159,46 @@ fn latest_valid_checkpoint(dir: &Path) -> Option<(PathBuf, KernelModel, TrainerS
         }
     }
     None
+}
+
+/// Enumerates `ckpt-NNNNNN.ep2` files in `dir`, sorted by epoch.
+fn checkpoint_files(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(epoch) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".ep2"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        found.push((epoch, path));
+    }
+    found.sort_by_key(|&(epoch, _)| epoch);
+    found
+}
+
+/// Deletes all but the newest `keep` checkpoints in `dir` (by epoch
+/// number). Called only after a successful atomic checkpoint write, so the
+/// retained newest file is always a complete, durable checkpoint; a failed
+/// unlink merely warns — stale files are retried on the next prune.
+fn prune_checkpoints(dir: &Path, keep: usize) {
+    let found = checkpoint_files(dir);
+    for (_, path) in found.iter().take(found.len().saturating_sub(keep)) {
+        if let Err(e) = std::fs::remove_file(path) {
+            eprintln!(
+                "warning: could not prune checkpoint {}: {e}",
+                path.display()
+            );
+        }
+    }
 }
 
 /// Extracts the human-readable message from a `catch_unwind` payload.

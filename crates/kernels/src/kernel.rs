@@ -1,5 +1,6 @@
 use std::fmt;
 
+use ep2_linalg::vmath::{VMath, BLOCK};
 use ep2_linalg::{ops, Scalar};
 
 /// A radial positive-definite kernel `k(x, z) = g(‖x − z‖²)` with
@@ -19,6 +20,32 @@ use ep2_linalg::{ops, Scalar};
 pub trait Kernel<S: Scalar = f64>: Send + Sync + fmt::Debug {
     /// Evaluates the radial profile at squared distance `d2 ≥ 0`.
     fn of_sq_dist(&self, d2: S) -> S;
+
+    /// Lane-batched radial profile: evaluates the profile over a
+    /// contiguous run of squared distances already at [`Scalar::Compute`]
+    /// width and clamped nonnegative, writing `out[j] = g(d2[j])` narrowed
+    /// to storage — the assembly hot path, called once per row segment
+    /// instead of once per entry.
+    ///
+    /// The contract mirrors [`Kernel::of_sq_dist`] bit for bit: for inputs
+    /// that round-trip through storage unchanged — which is how the
+    /// assembly paths produce them, as `S::from_accum(d2).compute()` —
+    /// `out[j]` equals `of_sq_dist(S::from_compute(d2[j]))` exactly. The
+    /// default is that per-entry loop; the built-in families override it
+    /// with `ep2_linalg::vmath` lane-batched bodies and define
+    /// `of_sq_dist` back in terms of the batched body on a 1-lane slice,
+    /// so the scalar and batched profiles can never drift apart.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume and debug-assert
+    /// `d2.len() == out.len()`.
+    fn profile_lanes(&self, d2: &[S::Compute], out: &mut [S]) {
+        debug_assert_eq!(d2.len(), out.len());
+        for (&v, o) in d2.iter().zip(out.iter_mut()) {
+            *o = self.of_sq_dist(S::from_compute(v));
+        }
+    }
 
     /// Kernel name for reports ("gaussian", "laplacian", ...).
     fn name(&self) -> &str;
@@ -126,11 +153,36 @@ impl fmt::Display for KernelKind {
 }
 
 macro_rules! radial_kernel {
-    ($(#[$doc:meta])* $name:ident, $label:literal, |$d2:ident, $sigma:ident, $cst:ident| $body:expr) => {
+    (@unit $x:expr) => {
+        ()
+    };
+    // Each family supplies its σ-derived profile constants (computed once,
+    // in f64, at construction — the hot loops never re-derive them) and a
+    // lane-batched profile body. The body sees one `BLOCK`-bounded chunk
+    // per iteration as `$d2` (compute-width squared distances, clamped
+    // nonnegative) / `$out` (the storage destination), plus the bound
+    // constants at compute width, `$cst` (the f64 → compute converter for
+    // literals) and `$narrow` (the single compute → storage rounding).
+    //
+    // The profile is evaluated at `Scalar::Compute` width and narrowed to
+    // storage exactly once at the end. For the native floats
+    // `Compute = Self`, so this is the plain native evaluation, bit for
+    // bit. For bf16 (`Compute = f32`) it is both faster and tighter than
+    // storage-width arithmetic: evaluating in `Bf16` pays a
+    // widen/op/round-to-nearest-even narrow round-trip *per operation* —
+    // measured as the dominant share of the bf16 assembly gap vs f32
+    // (`BENCH_gemm.json`, `assembly_fused` rows) — and each intermediate
+    // narrowing adds a 2^-8 relative rounding the final result keeps. One
+    // rounding at the end strictly refines both.
+    ($(#[$doc:meta])* $name:ident, $label:literal,
+     consts: |$sigma:ident| [$($cinit:expr),+ $(,)?],
+     profile: |$d2:ident, $out:ident, $cst:ident, $narrow:ident, [$($c:ident),+]| $body:block) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq)]
         pub struct $name {
             sigma: f64,
+            /// σ-derived profile constants, derived once at construction.
+            consts: [f64; [$(radial_kernel!(@unit $cinit)),+].len()],
         }
 
         impl $name {
@@ -144,22 +196,19 @@ macro_rules! radial_kernel {
                     sigma > 0.0 && sigma.is_finite(),
                     concat!(stringify!($name), ": bandwidth must be positive")
                 );
-                $name { sigma }
+                let $sigma = sigma;
+                $name {
+                    sigma,
+                    consts: [$($cinit),+],
+                }
             }
         }
 
         impl<S: Scalar> Kernel<S> for $name {
-            // The profile body is evaluated at `Scalar::Compute` width and
-            // narrowed to storage exactly once at the end. For the native
-            // floats `Compute = Self`, so this is the plain native
-            // evaluation, bit for bit. For bf16 (`Compute = f32`) it is both
-            // faster and tighter than storage-width arithmetic: evaluating
-            // in `Bf16` pays a widen/op/round-to-nearest-even narrow
-            // round-trip *per operation* — measured as the dominant share of
-            // the bf16 assembly gap vs f32 (`BENCH_gemm.json`,
-            // `assembly_fused` rows) — and each of those intermediate
-            // narrowings adds a 2^-8 relative rounding the final result
-            // keeps. One rounding at the end strictly refines both.
+            // The scalar profile is the batched body on a one-lane slice,
+            // so `of_sq_dist` and `profile_lanes` agree bit for bit by
+            // construction (including the `EP2_PRECISE_MATH` dispatch,
+            // which both reach through `vmath`).
             #[inline]
             fn of_sq_dist(&self, d2: S) -> S {
                 debug_assert!(
@@ -167,11 +216,21 @@ macro_rules! radial_kernel {
                     "negative squared distance {}",
                     d2
                 );
-                let $d2 = d2.compute().max(<S::Compute as Scalar>::ZERO);
-                let $sigma = <S::Compute as Scalar>::from_f64(self.sigma);
+                let d2c = [d2.compute().max(<S::Compute as Scalar>::ZERO)];
+                let mut out = [S::ZERO];
+                Kernel::<S>::profile_lanes(self, &d2c, &mut out);
+                out[0]
+            }
+
+            fn profile_lanes(&self, d2: &[S::Compute], out: &mut [S]) {
+                debug_assert_eq!(d2.len(), out.len());
+                let [$($c),+] = self.consts.map(<S::Compute as Scalar>::from_f64);
                 #[allow(unused_variables)]
                 let $cst = <S::Compute as Scalar>::from_f64;
-                S::from_compute($body)
+                let $narrow = S::from_compute;
+                for ($d2, $out) in d2.chunks(BLOCK).zip(out.chunks_mut(BLOCK)) {
+                    $body
+                }
             }
 
             fn name(&self) -> &str {
@@ -189,7 +248,18 @@ radial_kernel!(
     /// Gaussian (RBF) kernel `k(x, z) = exp(−‖x−z‖² / 2σ²)`.
     GaussianKernel,
     "gaussian",
-    |d2, sigma, cst| (-d2 / (cst(2.0) * sigma * sigma)).exp()
+    consts: |sigma| [-1.0 / (2.0 * sigma * sigma)],
+    profile: |d2, out, cst, narrow, [neg_half_inv_s2]| {
+        let mut t = [cst(0.0); BLOCK];
+        let t = &mut t[..d2.len()];
+        for (ti, &v) in t.iter_mut().zip(d2.iter()) {
+            *ti = v * neg_half_inv_s2;
+        }
+        VMath::vexp(t);
+        for (o, &e) in out.iter_mut().zip(t.iter()) {
+            *o = narrow(e);
+        }
+    }
 );
 
 radial_kernel!(
@@ -199,14 +269,33 @@ radial_kernel!(
     /// epochs, larger critical batch `m*`, and robustness to the bandwidth.
     LaplacianKernel,
     "laplacian",
-    |d2, sigma, cst| (-d2.sqrt() / sigma).exp()
+    consts: |sigma| [-1.0 / sigma],
+    profile: |d2, out, cst, narrow, [neg_inv_s]| {
+        let mut t = [cst(0.0); BLOCK];
+        let t = &mut t[..d2.len()];
+        t.copy_from_slice(d2);
+        VMath::vsqrt(t);
+        for ti in t.iter_mut() {
+            *ti *= neg_inv_s;
+        }
+        VMath::vexp(t);
+        for (o, &e) in out.iter_mut().zip(t.iter()) {
+            *o = narrow(e);
+        }
+    }
 );
 
 radial_kernel!(
     /// Cauchy kernel `k(x, z) = 1 / (1 + ‖x−z‖²/σ²)`.
     CauchyKernel,
     "cauchy",
-    |d2, sigma, cst| cst(1.0) / (cst(1.0) + d2 / (sigma * sigma))
+    consts: |sigma| [1.0 / (sigma * sigma)],
+    profile: |d2, out, cst, narrow, [inv_s2]| {
+        let one = cst(1.0);
+        for (o, &v) in out.iter_mut().zip(d2.iter()) {
+            *o = narrow(one / (one + v * inv_s2));
+        }
+    }
 );
 
 radial_kernel!(
@@ -214,9 +303,22 @@ radial_kernel!(
     /// differentiable sample paths, between Laplacian and Gaussian.
     Matern32Kernel,
     "matern32",
-    |d2, sigma, cst| {
-        let t = cst(3.0_f64.sqrt()) * d2.sqrt() / sigma;
-        (cst(1.0) + t) * (-t).exp()
+    consts: |sigma| [3.0_f64.sqrt() / sigma],
+    profile: |d2, out, cst, narrow, [sqrt3_inv_s]| {
+        let mut t = [cst(0.0); BLOCK];
+        let mut e = [cst(0.0); BLOCK];
+        let (t, e) = (&mut t[..d2.len()], &mut e[..d2.len()]);
+        t.copy_from_slice(d2);
+        VMath::vsqrt(t);
+        for (ti, ei) in t.iter_mut().zip(e.iter_mut()) {
+            *ti *= sqrt3_inv_s;
+            *ei = -*ti;
+        }
+        VMath::vexp(e);
+        let one = cst(1.0);
+        for (o, (&ti, &ei)) in out.iter_mut().zip(t.iter().zip(e.iter())) {
+            *o = narrow((one + ti) * ei);
+        }
     }
 );
 
@@ -224,10 +326,25 @@ radial_kernel!(
     /// Matérn-5/2 kernel `k(x, z) = (1 + √5 r/σ + 5r²/3σ²) exp(−√5 r/σ)`.
     Matern52Kernel,
     "matern52",
-    |d2, sigma, cst| {
-        let r = d2.sqrt();
-        let t = cst(5.0_f64.sqrt()) * r / sigma;
-        (cst(1.0) + t + cst(5.0) * d2 / (cst(3.0) * sigma * sigma)) * (-t).exp()
+    consts: |sigma| [5.0_f64.sqrt() / sigma, 5.0 / (3.0 * sigma * sigma)],
+    profile: |d2, out, cst, narrow, [sqrt5_inv_s, five_thirds_inv_s2]| {
+        let mut t = [cst(0.0); BLOCK];
+        let mut e = [cst(0.0); BLOCK];
+        let (t, e) = (&mut t[..d2.len()], &mut e[..d2.len()]);
+        t.copy_from_slice(d2);
+        VMath::vsqrt(t);
+        for (ti, ei) in t.iter_mut().zip(e.iter_mut()) {
+            *ti *= sqrt5_inv_s;
+            *ei = -*ti;
+        }
+        VMath::vexp(e);
+        let one = cst(1.0);
+        for (o, ((&ti, &ei), &v)) in out
+            .iter_mut()
+            .zip(t.iter().zip(e.iter()).zip(d2.iter()))
+        {
+            *o = narrow((one + ti + five_thirds_inv_s2 * v) * ei);
+        }
     }
 );
 
@@ -236,7 +353,13 @@ radial_kernel!(
     /// (the `α = 1` member of the RQ family — a Gaussian scale mixture).
     RationalQuadraticKernel,
     "rational-quadratic",
-    |d2, sigma, cst| cst(1.0) / (cst(1.0) + d2 / (cst(2.0) * sigma * sigma))
+    consts: |sigma| [1.0 / (2.0 * sigma * sigma)],
+    profile: |d2, out, cst, narrow, [half_inv_s2]| {
+        let one = cst(1.0);
+        for (o, &v) in out.iter_mut().zip(d2.iter()) {
+            *o = narrow(one / (one + v * half_inv_s2));
+        }
+    }
 );
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 
 use crate::Kernel;
 use ep2_linalg::gemm::Epilogue;
-use ep2_linalg::{blas, ops, parallel, Matrix, Scalar};
+use ep2_linalg::{blas, ops, parallel, vmath, Matrix, Scalar};
 use std::any::TypeId;
 
 /// Assembles the cross kernel matrix `K[i][j] = k(a_i, b_j)` of shape
@@ -133,13 +133,34 @@ pub fn kernel_cross_into_two_pass<S: Scalar>(
     // exactly this chain, reading the stored-rounded cross term.)
     let cols = m;
     parallel::for_each_chunk_mut(out.as_mut_slice(), cols.max(1) * 64, |off, chunk| {
-        for (local, v) in chunk.iter_mut().enumerate() {
-            let idx = off + local;
-            let (i, j) = (idx / cols, idx % cols);
-            let d2 = (a_sq[i] + b_sq[j] + v.accum()).max(S::Accum::ZERO);
-            *v = kernel.of_sq_dist(S::from_accum(d2));
+        let mut d2 = [<S::Compute as Scalar>::ZERO; vmath::BLOCK];
+        let mut pos = 0;
+        while pos < chunk.len() {
+            let (i, j) = ((off + pos) / cols, (off + pos) % cols);
+            let len = (cols - j).min(chunk.len() - pos).min(vmath::BLOCK);
+            let seg = &mut chunk[pos..pos + len];
+            d2_lanes(a_sq[i], &b_sq[j..j + len], seg, &mut d2[..len]);
+            kernel.profile_lanes(&d2[..len], seg);
+            pos += len;
         }
     });
+}
+
+/// Reassembles squared distances for one row segment, lane-batched: widens
+/// each stored cross term back to [`Scalar::Accum`], adds the row/column
+/// norms, clamps at Accum width, and narrows through storage to
+/// [`Scalar::Compute`] with a final nonnegativity clamp — per lane exactly
+/// the scalar chain `of_sq_dist(S::from_accum(d2))` runs up to its profile
+/// body, as one vectorizable loop shared by the fused epilogue and the
+/// two-pass reference.
+#[inline]
+fn d2_lanes<S: Scalar>(a_sq_i: S::Accum, b_sq: &[S::Accum], stored: &[S], d2: &mut [S::Compute]) {
+    for ((d, &bs), &v) in d2.iter_mut().zip(b_sq).zip(stored) {
+        let wide = (a_sq_i + bs + v.accum()).max(S::Accum::ZERO);
+        *d = S::from_accum(wide)
+            .compute()
+            .max(<S::Compute as Scalar>::ZERO);
+    }
 }
 
 /// Shared shape checks of the assembly entry points; returns the fused
@@ -196,6 +217,46 @@ impl<S: Scalar> Epilogue<S> for ProfileEpilogue<'_, S> {
         let stored = S::from_compute(acc);
         let d2 = (self.a_sq[row] + self.b_sq[col] + stored.accum()).max(S::Accum::ZERO);
         self.kernel.of_sq_dist(S::from_accum(d2))
+    }
+
+    // The batched write-back: same chain as `apply`, but staged — storage
+    // rounding of the whole segment, then lane-batched d² reassembly, then
+    // the kernel's lane-batched profile — so the transcendental tail runs
+    // a vector register wide instead of one libm call per entry. Per lane
+    // the arithmetic is identical to `apply`, which is what keeps the
+    // fused and two-pass paths bit-for-bit equal however the engines
+    // segment rows.
+    fn apply_row(&self, row: usize, col0: usize, acc: &[S::Compute], out: &mut [S]) {
+        debug_assert_eq!(acc.len(), out.len());
+        // With `lower_only` set, entries past the diagonal zero out and
+        // skip the profile entirely; only the prefix up to (and including)
+        // the diagonal is live.
+        let live = if self.lower_only {
+            (row + 1).saturating_sub(col0).min(acc.len())
+        } else {
+            acc.len()
+        };
+        let a_sq_i = self.a_sq[row];
+        let mut d2 = [<S::Compute as Scalar>::ZERO; vmath::BLOCK];
+        let mut j = 0;
+        while j < live {
+            let len = (live - j).min(vmath::BLOCK);
+            let seg = &mut out[j..j + len];
+            for (o, &a) in seg.iter_mut().zip(&acc[j..j + len]) {
+                *o = S::from_compute(a);
+            }
+            d2_lanes(
+                a_sq_i,
+                &self.b_sq[col0 + j..col0 + j + len],
+                seg,
+                &mut d2[..len],
+            );
+            self.kernel.profile_lanes(&d2[..len], seg);
+            j += len;
+        }
+        for o in &mut out[live..] {
+            *o = S::ZERO;
+        }
     }
 }
 

@@ -64,6 +64,7 @@
 
 use crate::parallel;
 use crate::scalar::Scalar;
+use crate::vmath;
 
 /// Rows per packed A block (`MC`): the `MC x KC` packed A slab is the
 /// L2-resident operand (48·256 elements = 48 KiB at f32). A common multiple
@@ -83,8 +84,8 @@ const MAX_MR: usize = 8;
 const MAX_TILE: usize = 128;
 
 /// A fused `C` write-back hook: maps each fully-accumulated GEMM entry —
-/// still at [`Scalar::Compute`] width, with the register tile cache-hot —
-/// to the value actually stored, replacing the plain
+/// at [`Scalar::Compute`] width, while the entry's cache block is still
+/// hot — to the value actually stored, replacing the plain
 /// `C[i,j] = from_compute(acc)` narrowing.
 ///
 /// `apply` receives the **global** `(row, col)` of the entry and the
@@ -104,16 +105,19 @@ const MAX_TILE: usize = 128;
 ///
 /// - `apply` runs **exactly once** per `C` entry, only after the entry's
 ///   accumulation is complete — in the blocked engines, on the final `pc`
-///   slab of the entry's column block. Earlier slabs accumulate through
-///   `C` in storage precision exactly as the plain engines do, so the
-///   per-entry rounding chain (one storage rounding per slab for `bf16`)
-///   is **bit-for-bit identical** to running the plain GEMM first.
-/// - The value handed to `apply` reproduces the plain write-back's
-///   arithmetic at compute width: `prior + alpha·acc` for interior tiles
-///   and `prior + from_compute(alpha·acc)` for zero-padded edge tiles
-///   (whose scratch-tile path rounds the product term to storage before
-///   accumulating). Narrowing `apply`'s input with `from_compute` therefore
-///   yields exactly the plain GEMM's stored value — pinned by the
+///   slab of the entry's column block, swept over each `MC x NC` cache
+///   block right after its tiles land (the block is still cache-resident;
+///   this is where the old two-pass scheme's second full-matrix memory
+///   sweep went). Earlier slabs accumulate through `C` in storage
+///   precision exactly as the plain engines do, so the per-entry rounding
+///   chain (one storage rounding per slab for `bf16`) is **bit-for-bit
+///   identical** to running the plain GEMM first.
+/// - The value handed to `apply` satisfies `from_compute(acc) == stored`,
+///   where `stored` is exactly the plain GEMM's result for that entry:
+///   the small engine hands the pre-narrowing accumulator, and the blocked
+///   engines hand the plain write-back's stored value widened back to
+///   compute width (`from_compute . compute` is the identity, so both
+///   narrow to the same bits) — pinned by the
 ///   `store_epilogue_matches_plain_gemm` tests.
 /// - Threading never changes what `apply` sees, only which worker calls it.
 ///
@@ -123,6 +127,33 @@ pub trait Epilogue<S: Scalar>: Sync {
     /// Maps the fully-accumulated entry at global `(row, col)` to the value
     /// to store.
     fn apply(&self, row: usize, col: usize, acc: S::Compute) -> S;
+
+    /// Row-batched form of [`Epilogue::apply`]: maps the contiguous run of
+    /// fully-accumulated entries `(row, col0 + j)` for `j < acc.len()`,
+    /// writing the storage values into `out`.
+    ///
+    /// The engines hand whole register-tile rows (and row segments on the
+    /// degenerate sweeps) through this hook, so an epilogue can batch
+    /// lane-level work — kernel assembly's vectorized radial profile
+    /// overrides it to run d² reassembly and the profile polynomial a
+    /// vector register at a time. The default is the per-entry loop, which
+    /// keeps plain [`Epilogue::apply`] implementations (closures,
+    /// [`StoreEpilogue`], third-party hooks) exactly as before. An
+    /// override must store bitwise the same values the default would —
+    /// that is what keeps the engine contract's exactness guarantees
+    /// independent of how the engines segment rows.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may assume and debug-assert
+    /// `acc.len() == out.len()`.
+    #[inline]
+    fn apply_row(&self, row: usize, col0: usize, acc: &[S::Compute], out: &mut [S]) {
+        debug_assert_eq!(acc.len(), out.len());
+        for (j, (&a, o)) in acc.iter().zip(out.iter_mut()).enumerate() {
+            *o = self.apply(row, col0 + j, a);
+        }
+    }
 }
 
 impl<S: Scalar, F> Epilogue<S> for F
@@ -310,16 +341,14 @@ pub(crate) fn scale_stripe<S: Scalar>(c: &mut [S], beta: S) {
 }
 
 /// Runs one `MR x NR` register tile against the (already beta-scaled) `C`
-/// tile starting at `c[0]`. With `fuse == None` this is the plain storage
-/// write-back (accumulate through `C`, used for every non-final `KC` slab
-/// and by the plain engines); with `fuse == Some((epi, row0, col0))` the
-/// tile is the entry's **final** slab contribution: the accumulated value
-/// is rebuilt at compute width — replicating the plain path's rounding
-/// chain exactly, including the edge-tile scratch rounding — and handed to
-/// the epilogue instead of being stored directly.
-#[allow(clippy::too_many_arguments)] // the engine's loop variables, 1:1
+/// tile starting at `c[0]`: the plain storage write-back, accumulating
+/// through `C`. Epilogues are not applied here — the blocked engines sweep
+/// them over each completed `MC x NC` cache block instead (see
+/// [`epilogue_block`]), where the batched [`Epilogue::apply_row`] seam gets
+/// full [`vmath::BLOCK`] row segments rather than NR-wide tile rows.
+#[allow(clippy::too_many_arguments)] // mirrors the engine's loop variables 1:1
 #[inline(always)]
-fn compute_tile<S: Scalar, E: Epilogue<S>>(
+fn compute_tile<S: Scalar>(
     kc: usize,
     alpha: S,
     a_panel: &[S::Compute],
@@ -328,49 +357,52 @@ fn compute_tile<S: Scalar, E: Epilogue<S>>(
     ldc: usize,
     mr_here: usize,
     nr_here: usize,
-    fuse: Option<(&E, usize, usize)>,
 ) {
     let (mr, nr) = (S::MR, S::NR);
-    let Some((epi, row0, col0)) = fuse else {
-        if mr_here == mr && nr_here == nr {
-            S::microkernel(kc, alpha, a_panel, b_panel, c, ldc);
-        } else {
-            // Edge tile: run the full (zero-padded) kernel into a scratch
-            // tile, accumulate the valid corner.
-            debug_assert!(mr <= MAX_MR && mr * nr <= MAX_TILE);
-            let mut tile = [S::ZERO; MAX_TILE];
-            S::microkernel(kc, alpha, a_panel, b_panel, &mut tile, nr);
-            for i in 0..mr_here {
-                let src = &tile[i * nr..i * nr + nr_here];
-                let dst = &mut c[i * ldc..][..nr_here];
-                for (d, &s) in dst.iter_mut().zip(src) {
-                    *d += s;
-                }
+    if mr_here == mr && nr_here == nr {
+        S::microkernel(kc, alpha, a_panel, b_panel, c, ldc);
+    } else {
+        // Edge tile: run the full (zero-padded) kernel into a scratch
+        // tile, accumulate the valid corner.
+        debug_assert!(mr <= MAX_MR && mr * nr <= MAX_TILE);
+        let mut tile = [S::ZERO; MAX_TILE];
+        S::microkernel(kc, alpha, a_panel, b_panel, &mut tile, nr);
+        for i in 0..mr_here {
+            let src = &tile[i * nr..i * nr + nr_here];
+            let dst = &mut c[i * ldc..][..nr_here];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += s;
             }
         }
-        return;
-    };
-    // Fused final-slab write-back: take the raw register tile at compute
-    // width and fold in the prior C value the same way the plain paths do —
-    // `prior + alpha·acc` on interior tiles; edge tiles round the product
-    // term through storage first, as the scratch-tile path above does — so
-    // `from_compute(value seen by the epilogue)` is bit-for-bit the plain
-    // GEMM's stored result.
-    debug_assert!(mr * nr <= MAX_TILE);
-    let mut acc = [S::Compute::ZERO; MAX_TILE];
-    S::microkernel_acc(kc, a_panel, b_panel, &mut acc);
-    let alpha_c = alpha.compute();
-    let full = mr_here == mr && nr_here == nr;
-    for i in 0..mr_here {
-        let row = &acc[i * nr..i * nr + nr_here];
-        let dst = &mut c[i * ldc..][..nr_here];
-        for (j, (d, &r)) in dst.iter_mut().zip(row).enumerate() {
-            let v = if full {
-                d.compute() + alpha_c * r
-            } else {
-                d.compute() + S::from_compute(alpha_c * r).compute()
-            };
-            *d = epi.apply(row0 + i, col0 + j, v);
+    }
+}
+
+/// Applies an epilogue over the freshly-completed cache block
+/// `rows x cols` at `(row0, col0)` of the stripe `c` (local row 0 ==
+/// global row `row0`), in [`vmath::BLOCK`]-wide row segments widened back
+/// to compute width. Runs on the worker that owns the stripe, immediately
+/// after the block's final-slab tiles land — the block is still
+/// cache-resident, so this costs the sweep's arithmetic, not a second
+/// trip through memory. `from_compute . compute` being the identity makes
+/// the widened value satisfy the [`Epilogue`] contract exactly.
+fn epilogue_block<S: Scalar, E: Epilogue<S>>(
+    c: &mut [S],
+    ldc: usize,
+    row0: usize,
+    rows: usize,
+    col0: usize,
+    cols: usize,
+    epi: &E,
+) {
+    let mut buf = [S::Compute::ZERO; vmath::BLOCK];
+    for i in 0..rows {
+        let row = &mut c[i * ldc + col0..][..cols];
+        for (s, seg) in row.chunks_mut(vmath::BLOCK).enumerate() {
+            let widened = &mut buf[..seg.len()];
+            for (w, v) in widened.iter_mut().zip(seg.iter()) {
+                *w = v.compute();
+            }
+            epi.apply_row(row0 + i, col0 + s * vmath::BLOCK, widened, seg);
         }
     }
 }
@@ -421,9 +453,11 @@ fn gemm_stripe<S: Scalar, E: Epilogue<S>>(
                                 ldc,
                                 mr_here,
                                 nr_here,
-                                fuse.map(|e| (e, r0 + ic + ir, jc + jr)),
                             );
                         }
+                    }
+                    if let Some(epi) = fuse {
+                        epilogue_block(&mut c[ic * ldc..], ldc, r0 + ic, mc, jc, nc, epi);
                     }
                 }
             }
@@ -490,18 +524,26 @@ fn gemm_small_epilogue<S: Scalar, E: Epilogue<S>>(
     // floats; f32 for bf16 storage), mirroring the packed engine's
     // pack-time widening so both paths share one rounding model.
     let (alpha_c, beta_c) = (alpha.compute(), beta.compute());
+    // Entries are staged at compute width a BLOCK-sized row segment at a
+    // time and handed to the epilogue through the batched `apply_row`
+    // seam, so a lane-batching epilogue gets full segments here too.
+    let mut seg_acc = [S::Compute::ZERO; vmath::BLOCK];
     for (i, c_row) in c.chunks_exact_mut(n.max(1)).enumerate().take(m) {
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let mut acc = S::Compute::ZERO;
-            for p in 0..k {
-                acc += a.at(i, p).compute() * b.at(p, j).compute();
+        for (s, seg) in c_row.chunks_mut(vmath::BLOCK).enumerate() {
+            let j0 = s * vmath::BLOCK;
+            let accs = &mut seg_acc[..seg.len()];
+            for (jj, (av, cv)) in accs.iter_mut().zip(seg.iter()).enumerate() {
+                let mut acc = S::Compute::ZERO;
+                for p in 0..k {
+                    acc += a.at(i, p).compute() * b.at(p, j0 + jj).compute();
+                }
+                *av = if beta == S::ZERO {
+                    alpha_c * acc
+                } else {
+                    alpha_c * acc + beta_c * cv.compute()
+                };
             }
-            let v = if beta == S::ZERO {
-                alpha_c * acc
-            } else {
-                alpha_c * acc + beta_c * cv.compute()
-            };
-            *cv = epi.apply(i, j, v);
+            epi.apply_row(i, j0, accs, seg);
         }
     }
 }
@@ -563,10 +605,7 @@ fn epilogue_sweep<S: Scalar, E: Epilogue<S>>(c: &mut [S], n: usize, epi: &E) {
         return;
     }
     parallel::for_each_chunk_mut(c, n, |off, row| {
-        let i = off / n;
-        for (j, v) in row.iter_mut().enumerate() {
-            *v = epi.apply(i, j, v.compute());
-        }
+        epilogue_block(row, n, off / n, 1, 0, n, epi);
     });
 }
 
@@ -738,9 +777,11 @@ fn gemm_block_rows<S: Scalar, E: Epilogue<S>>(
                         ldc,
                         mr_here,
                         nr_here,
-                        fuse.map(|e| (e, r0 + ic + ir, jc + jr)),
                     );
                 }
+            }
+            if let Some(epi) = fuse {
+                epilogue_block(&mut c[ic * ldc..], ldc, r0 + ic, mc, jc, nc, epi);
             }
         }
     });

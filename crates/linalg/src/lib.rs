@@ -60,6 +60,7 @@ pub mod parallel;
 pub mod pca;
 pub mod qr;
 pub mod subspace;
+pub mod vmath;
 
 pub use error::LinalgError;
 pub use matrix::Matrix;

@@ -71,8 +71,10 @@ pub trait Scalar:
     /// the engine accumulates *through* across `KC` slabs, still rounds to
     /// storage once per slab; see the `crate::gemm` module docs for the
     /// resulting `ceil(k/KC)`-rounding model). Lossless to convert into
-    /// from `Self`.
-    type Compute: Scalar<Compute = Self::Compute>;
+    /// from `Self`. Bounded by [`crate::vmath::VMath`] so every generic
+    /// hot path can evaluate lane-batched transcendentals at compute
+    /// width without repeating the bound at each call site.
+    type Compute: Scalar<Compute = Self::Compute> + crate::vmath::VMath;
 
     /// Additive identity.
     const ZERO: Self;

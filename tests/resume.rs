@@ -170,6 +170,46 @@ fn resume_parity_holds_out_of_core() {
 }
 
 #[test]
+fn checkpoint_keep_prunes_older_files_and_resume_still_works() {
+    let _g = lock();
+    let train = catalog::susy_like(240, 7);
+    let full = fit(&train, config(Precision::F64, 6));
+    let dir = fresh_dir("keep");
+    let _part = fit(
+        &train,
+        TrainConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_keep: Some(2),
+            ..config(Precision::F64, 4)
+        },
+    );
+    // Four epochs at the default cadence write four checkpoints; the
+    // retention policy keeps only the two newest.
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("ckpt-"))
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["ckpt-000003.ep2", "ckpt-000004.ep2"]);
+    // The survivors are real checkpoints: resume picks up from epoch 4 and
+    // lands bit-for-bit on the uninterrupted trajectory.
+    let resumed = fit(
+        &train,
+        TrainConfig {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            checkpoint_keep: Some(2),
+            ..config(Precision::F64, 6)
+        },
+    );
+    assert_eq!(resumed.report.resumed_from_epoch, Some(4));
+    assert_bitwise_equal(&full, &resumed, "keep_pruned");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn resume_past_the_epoch_cap_replays_the_report() {
     let _g = lock();
     let train = catalog::susy_like(200, 3);
