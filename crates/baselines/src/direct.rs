@@ -42,6 +42,7 @@ pub fn solve_ops(n: usize, d: usize, l: usize) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ep2_core::PredictOptions;
     use ep2_kernels::GaussianKernel;
 
     #[test]
@@ -56,7 +57,7 @@ mod tests {
         // jitter perturbs the interpolant negligibly.
         let kernel: Arc<dyn Kernel> = Arc::new(GaussianKernel::new(0.3));
         let model = solve(kernel, &x, &y, 1e-12).unwrap();
-        let pred = model.predict(&x);
+        let pred = model.predict_with(&x, &PredictOptions::default());
         let mse = ep2_data::metrics::mse(&pred, &y);
         assert!(mse < 1e-8, "direct solver must interpolate, mse = {mse}");
     }

@@ -14,7 +14,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ep2_core::{critical, CoreError, KernelModel};
+use ep2_core::{critical, CoreError, KernelModel, PredictOptions};
 use ep2_data::{metrics, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec, SimClock};
 use ep2_kernels::{matrix as kmat, KernelKind};
@@ -205,10 +205,10 @@ pub fn train(
             let corr_ops = (mb * config.q * l + n * config.q * l) as f64;
             clock.record_launch(sgd_ops + corr_ops);
         }
-        let pred = model.predict(&train.features);
+        let pred = model.predict_with(&train.features, &PredictOptions::default());
         let train_mse = metrics::mse(&pred, &train.targets);
         let val_error = val.map(|v| {
-            let p = model.predict(&v.features);
+            let p = model.predict_with(&v.features, &PredictOptions::default());
             metrics::classification_error(&p, &v.labels)
         });
         epochs.push((epoch, train_mse, val_error));

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ep2_core::{CoreError, KernelModel};
+use ep2_core::{CoreError, KernelModel, PredictOptions};
 use ep2_data::{metrics, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec, SimClock};
 use ep2_kernels::{matrix as kmat, KernelKind};
@@ -184,10 +184,10 @@ pub fn train(
     }
 
     let model = KernelModel::from_weights(kernel, centers, weights);
-    let pred = model.predict(&train.features);
+    let pred = model.predict_with(&train.features, &PredictOptions::default());
     let final_train_mse = metrics::mse(&pred, &train.targets);
     let final_val_error = val.map(|v| {
-        let p = model.predict(&v.features);
+        let p = model.predict_with(&v.features, &PredictOptions::default());
         metrics::classification_error(&p, &v.labels)
     });
     let report = BaselineReport {

@@ -10,7 +10,7 @@ use std::time::Instant;
 
 use ep2_core::iteration::EigenProIteration;
 use ep2_core::precond::SubsampleEigens;
-use ep2_core::{critical, CoreError, KernelModel};
+use ep2_core::{critical, CoreError, KernelModel, PredictOptions};
 use ep2_data::{metrics, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec, SimClock};
 use ep2_kernels::KernelKind;
@@ -151,10 +151,14 @@ pub fn train(
             let ops = iter.step(chunk, &train.targets);
             clock.record_launch(ops);
         }
-        let pred = iter.model().predict(&train.features);
+        let pred = iter
+            .model()
+            .predict_with(&train.features, &PredictOptions::default());
         let train_mse = metrics::mse(&pred, &train.targets);
         let val_error = val.map(|v| {
-            let p = iter.model().predict(&v.features);
+            let p = iter
+                .model()
+                .predict_with(&v.features, &PredictOptions::default());
             metrics::classification_error(&p, &v.labels)
         });
         epochs.push((epoch, train_mse, val_error));

@@ -866,6 +866,192 @@ fn bench_falkon(c: &mut Criterion) {
     group.finish();
 }
 
+/// `BENCH_serve.json` accumulator — the micro-batching service's latency
+/// and throughput measurements (same contract as [`write_bench_json`]).
+fn write_serve_json(records: &[String]) {
+    static PENDING: std::sync::OnceLock<std::sync::Mutex<Vec<String>>> = std::sync::OnceLock::new();
+    write_json_accum(
+        &PENDING,
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json"),
+        "\"model\": \"persistent micro-batching inference service; latencies \
+         are enqueue-to-reply, offered load is paced request submission\",",
+        records,
+    );
+}
+
+/// Builds a serving engine over an LCG-seeded model for one bench leg.
+fn serve_engine_for_bench<S: ep2_linalg::Scalar>(
+    n: usize,
+    d: usize,
+    l: usize,
+    precision: ep2_device::Precision,
+    config: &ep2_serve::ServeConfig,
+) -> ep2_serve::ServeEngine<S> {
+    let kernel: Arc<dyn Kernel<S>> = Arc::new(GaussianKernel::new(4.0));
+    let centers: Matrix<S> = lcg_matrix(n, d, 0x5e21).cast();
+    let weights: Matrix<S> = lcg_matrix(n, l, 0x77aa).cast();
+    let model = Arc::new(KernelModel::from_weights(kernel, centers, weights));
+    let spec = ResourceSpec::scaled_virtual_gpu();
+    let plan = ep2_serve::ServePlan::plan(n, d, l, &spec, precision, config);
+    let ledger = ep2_device::MemoryLedger::new(spec.memory_floats);
+    ep2_serve::ServeEngine::new(model, plan, &ledger).expect("bench plan fits the ledger")
+}
+
+/// Submits `reqs` rows at a fixed inter-arrival gap (spin-paced) and
+/// returns the engine's stats once everything drains.
+fn offered_load_run<S: ep2_linalg::Scalar>(
+    engine: &ep2_serve::ServeEngine<S>,
+    rows: &Matrix<S>,
+    reqs: usize,
+    gap_us: f64,
+) -> ep2_serve::ServeStats {
+    let sink = |_id: &str, out: &[S]| {
+        std::hint::black_box(out);
+    };
+    engine.run(&sink, || {
+        let t0 = std::time::Instant::now();
+        for i in 0..reqs {
+            let due = (i as f64 * gap_us) as u64;
+            while (t0.elapsed().as_micros() as u64) < due {
+                std::hint::spin_loop();
+            }
+            let _ = engine.submit("b", rows.row(i % rows.rows()));
+        }
+    });
+    engine.stats()
+}
+
+/// The serving benches behind `BENCH_serve.json`: p50/p99 latency against
+/// three offered loads (0.5x / 1x / 2x the measured drain throughput) and
+/// a batch-cap sweep, each at f32 and bf16.
+fn bench_serve(_c: &mut Criterion) {
+    let smoke = criterion::smoke_mode();
+    let (n, d, l) = if smoke { (300, 12, 3) } else { (2_000, 32, 5) };
+    let reqs = if smoke { 120 } else { 1_500 };
+    let mut records = Vec::new();
+    serve_bench_leg::<f32>(
+        "f32",
+        ep2_device::Precision::F32,
+        n,
+        d,
+        l,
+        reqs,
+        smoke,
+        &mut records,
+    );
+    serve_bench_leg::<ep2_linalg::Bf16>(
+        "bf16",
+        ep2_device::Precision::Bf16,
+        n,
+        d,
+        l,
+        reqs,
+        smoke,
+        &mut records,
+    );
+    write_serve_json(&records);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_bench_leg<S: ep2_linalg::Scalar>(
+    name: &str,
+    precision: ep2_device::Precision,
+    n: usize,
+    d: usize,
+    l: usize,
+    reqs: usize,
+    smoke: bool,
+    records: &mut Vec<String>,
+) {
+    let rows: Matrix<S> = lcg_matrix(256, d, 0x11ee).cast();
+
+    // Calibrate: drain throughput at the planned batch cap, burst-fed.
+    let burst_config = ep2_serve::ServeConfig {
+        latency_budget_us: Some(u64::MAX / 2),
+        window_us: Some(0),
+        workers: Some(1),
+        ..Default::default()
+    };
+    let engine = serve_engine_for_bench::<S>(n, d, l, precision, &burst_config);
+    let t0 = std::time::Instant::now();
+    let st = offered_load_run(&engine, &rows, reqs, 0.0);
+    let drain_s = t0.elapsed().as_secs_f64();
+    let drain_rps = st.served as f64 / drain_s.max(1e-9);
+    println!(
+        "serve[{name}] n={n} d={d} l={l}: drain {drain_rps:.0} rows/s \
+         (batch cap {})",
+        engine.plan().batch_rows
+    );
+
+    // p50/p99 vs offered load: pace arrivals at fractions of drain rate.
+    for frac in [0.5, 1.0, 2.0] {
+        let gap_us = 1e6 / (drain_rps * frac);
+        let engine = serve_engine_for_bench::<S>(
+            n,
+            d,
+            l,
+            precision,
+            &ep2_serve::ServeConfig {
+                workers: Some(1),
+                ..Default::default()
+            },
+        );
+        let st = offered_load_run(&engine, &rows, reqs, gap_us);
+        let (p50, p99) = (st.percentile_us(50.0), st.percentile_us(99.0));
+        println!(
+            "serve[{name}] offered {:.1}x ({:.0} rows/s): served {} shed {} \
+             p50 {p50} us p99 {p99} us",
+            frac,
+            drain_rps * frac,
+            st.served,
+            st.shed
+        );
+        records.push(format!(
+            "    {{\"op\": \"serve_load\", \"precision\": \"{name}\", \
+             \"offered_frac\": {frac}, \"offered_rps\": {:.1}, \
+             \"served\": {}, \"shed\": {}, \"batches\": {}, \
+             \"p50_us\": {p50}, \"p99_us\": {p99}}}",
+            drain_rps * frac,
+            st.served,
+            st.shed,
+            st.batches
+        ));
+    }
+
+    // Batch-cap sweep: burst-feed and watch amortisation kick in.
+    let caps: &[usize] = if smoke { &[1, 16] } else { &[1, 16, 128] };
+    for &cap in caps {
+        let engine = serve_engine_for_bench::<S>(
+            n,
+            d,
+            l,
+            precision,
+            &ep2_serve::ServeConfig {
+                batch_rows: Some(cap),
+                window_us: Some(0),
+                latency_budget_us: Some(u64::MAX / 2),
+                workers: Some(1),
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let st = offered_load_run(&engine, &rows, reqs, 0.0);
+        let wall = t0.elapsed().as_secs_f64();
+        let rps = st.served as f64 / wall.max(1e-9);
+        let (p50, p99) = (st.percentile_us(50.0), st.percentile_us(99.0));
+        println!(
+            "serve[{name}] batch cap {cap}: {rps:.0} rows/s in {} batches, \
+             p50 {p50} us p99 {p99} us",
+            st.batches
+        );
+        records.push(format!(
+            "    {{\"op\": \"serve_batch_sweep\", \"precision\": \"{name}\", \
+             \"batch_rows\": {cap}, \"served\": {}, \"batches\": {}, \
+             \"rows_per_s\": {rps:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}}}",
+            st.served, st.batches
+        ));
+    }
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -881,6 +1067,7 @@ criterion_group!(
     bench_eigensolver,
     bench_training_iterations,
     bench_f32_kernel_row,
-    bench_falkon
+    bench_falkon,
+    bench_serve
 );
 criterion_main!(benches);

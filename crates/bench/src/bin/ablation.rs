@@ -15,6 +15,7 @@
 
 use ep2_bench::{fmt_pct, fmt_secs, print_table, virtual_gpu_saturating_at};
 use ep2_core::trainer::{EigenPro2, TrainConfig};
+use ep2_core::PredictOptions;
 use ep2_data::catalog;
 use ep2_device::DeviceMode;
 use ep2_kernels::KernelKind;
@@ -92,7 +93,9 @@ fn main() {
             for chunk in idx.chunks(m) {
                 it.step(chunk, &train.targets);
             }
-            let pred = it.model().predict(&train.features);
+            let pred = it
+                .model()
+                .predict_with(&train.features, &PredictOptions::default());
             let mse = ep2_data::metrics::mse(&pred, &train.targets);
             if mse <= target {
                 epochs_needed = Some((epoch, mse));

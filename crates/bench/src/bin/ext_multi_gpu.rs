@@ -16,7 +16,7 @@
 use ep2_bench::{fmt_pct, fmt_secs, print_table};
 use ep2_core::distributed::DistributedEigenProIteration;
 use ep2_core::iteration::EigenProIteration;
-use ep2_core::{KernelModel, Preconditioner};
+use ep2_core::{KernelModel, Preconditioner, PredictOptions};
 use ep2_data::catalog;
 use ep2_device::{ClusterSpec, DeviceMode};
 use ep2_kernels::{Kernel, KernelKind};
@@ -95,7 +95,9 @@ fn main() {
             single.step(chunk, &train.targets);
         }
     }
-    let single_pred = single.model().predict(&test.features);
+    let single_pred = single
+        .model()
+        .predict_with(&test.features, &PredictOptions::default());
     let single_err = ep2_data::metrics::classification_error(&single_pred, &test.labels);
 
     let mut rows = Vec::new();
@@ -115,7 +117,9 @@ fn main() {
                 dist.step(chunk, &train.targets);
             }
         }
-        let pred = dist.model().predict(&test.features);
+        let pred = dist
+            .model()
+            .predict_with(&test.features, &PredictOptions::default());
         let err = ep2_data::metrics::classification_error(&pred, &test.labels);
         let max_w_diff = single
             .model()

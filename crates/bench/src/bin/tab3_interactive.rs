@@ -17,6 +17,7 @@
 use ep2_baselines::svm;
 use ep2_bench::{fmt_pct, fmt_secs, print_table, virtual_gpu_saturating_at};
 use ep2_core::trainer::{EigenPro2, TrainConfig};
+use ep2_core::PredictOptions;
 use ep2_data::{catalog, metrics, Dataset};
 use ep2_device::{DeviceMode, ResourceSpec};
 use ep2_kernels::KernelKind;
@@ -123,7 +124,9 @@ fn main() {
         )
         .fit(&train, Some(&test))
         .expect("eigenpro2");
-        let pred = out.model.predict(&test.features);
+        let pred = out
+            .model
+            .predict_with(&test.features, &PredictOptions::default());
         let ep2_error = metrics::classification_error(&pred, &test.labels);
 
         sim_rows.push(vec![

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use ep2_core::autotune;
 use ep2_core::trainer::{EarlyStopping, EigenPro2, TrainConfig};
+use ep2_core::PredictOptions;
 use ep2_data::{catalog, Dataset};
 use ep2_device::{batch, DeviceMode, Precision, ResidencyMode, ResourceSpec};
 use ep2_kernels::{Kernel, KernelKind};
@@ -22,6 +23,8 @@ commands:
   eval     evaluate a saved model on a dataset split
   inspect  print the header, dims, checksum status, and embedded trainer
            state of an .ep2/.ep2m model or checkpoint file
+  serve    load a model once and serve predictions over a stdin/stdout
+           line protocol with micro-batching and admission control
   help     show this message
 
 common options:
@@ -79,6 +82,21 @@ eval options:
 
 inspect:
   ep2 inspect <model.ep2>   (or --model <path>)
+
+serve:
+  ep2 serve <model.ep2>     (or --model <path>)
+  --precision <name>        serve at this precision instead of the one the
+                            model was trained under (bf16 halves the
+                            resident slots the ledger charges)
+  --batch-rows <int>        micro-batch row cap (default: derived from the
+                            device capacity C_G and the memory plan)
+  --window-us <int>         batching window in microseconds (default 2000)
+  --latency-budget-us <int> admission latency budget; requests whose
+                            estimated wait exceeds it get a `busy` reply
+  --workers <int>           batch-executing workers (default 2)
+  protocol, one request per line on stdin:
+    predict <id> <v1,v2,...>  ->  ok <id> <y1,...>  |  busy <id> <wait> <budget>
+    ping | stats | shutdown
 ";
 
 /// Dispatches a parsed command line.
@@ -88,7 +106,8 @@ inspect:
 /// Returns a human-readable message for unknown commands/options or
 /// training failures.
 pub fn run(parsed: &Parsed) -> Result<(), String> {
-    if parsed.command != "inspect" {
+    // `inspect` and `serve` take the model path as a positional argument.
+    if parsed.command != "inspect" && parsed.command != "serve" {
         if let Some(stray) = parsed.positionals.first() {
             return Err(format!("unexpected positional argument {stray}"));
         }
@@ -104,6 +123,7 @@ pub fn run(parsed: &Parsed) -> Result<(), String> {
         "train" => train(parsed),
         "eval" => eval_model(parsed),
         "inspect" => inspect_model(parsed),
+        "serve" => serve_model(parsed),
         other => Err(format!("unknown command {other} (try `ep2 help`)")),
     }
 }
@@ -344,7 +364,9 @@ fn eval_model(parsed: &Parsed) -> Result<(), String> {
         .options
         .get("model")
         .ok_or_else(|| "--model <path> is required".to_string())?;
-    let model = ep2_core::persist::load(path).map_err(|e| e.to_string())?;
+    // `load_any` restores the model at its *trained* storage precision, so
+    // evaluation reproduces the numbers the training run saw.
+    let model = ep2_core::persist::load_any(path).map_err(|e| e.to_string())?;
     let dataset = load_dataset(parsed)?;
     if dataset.dim() != model.dim() {
         return Err(format!(
@@ -353,20 +375,110 @@ fn eval_model(parsed: &Parsed) -> Result<(), String> {
             dataset.dim()
         ));
     }
-    let pred = model.predict(&dataset.features);
+    let pred = model.predict_f64(&dataset.features, &PredictOptions::default());
     let err = ep2_data::metrics::classification_error(&pred, &dataset.labels);
     println!(
-        "model: {} kernel, sigma = {}, {} centers, {} outputs",
-        model.kernel().name(),
-        model.kernel().bandwidth(),
+        "model: {} kernel, sigma = {}, {} centers, {} outputs, {} storage",
+        model.kernel_name(),
+        model.bandwidth(),
         model.n_centers(),
-        model.n_outputs()
+        model.n_outputs(),
+        model.precision()
     );
     println!(
         "evaluated on {} ({} rows): error {:.2}%",
         dataset.name,
         dataset.len(),
         err * 100.0
+    );
+    Ok(())
+}
+
+fn serve_model(parsed: &Parsed) -> Result<(), String> {
+    use ep2_core::persist::AnyModel;
+    let path = parsed
+        .positionals
+        .first()
+        .or_else(|| parsed.options.get("model"))
+        .ok_or_else(|| "usage: ep2 serve <model.ep2>".to_string())?;
+    if parsed.positionals.len() > 1 {
+        return Err(format!(
+            "unexpected positional argument {}",
+            parsed.positionals[1]
+        ));
+    }
+    let mut model = ep2_core::persist::load_any(path).map_err(|e| e.to_string())?;
+    if let Some(name) = parsed.options.get("precision") {
+        model = model.to_precision(name.parse()?);
+    }
+    let device = load_device(parsed)?;
+    let config = ep2_serve::ServeConfig {
+        batch_rows: parsed.get_opt("batch-rows")?,
+        window_us: parsed.get_opt("window-us")?,
+        latency_budget_us: parsed.get_opt("latency-budget-us")?,
+        workers: parsed.get_opt("workers")?,
+    };
+    // One match, at the boundary: `load_any` erased the precision, the
+    // engine is monomorphic below this point.
+    match model {
+        AnyModel::F32(m) => serve_typed(m, Precision::F32, &device, &config),
+        AnyModel::F64(m) => serve_typed(m, Precision::F64, &device, &config),
+        AnyModel::Bf16(m) => serve_typed(m, Precision::Bf16, &device, &config),
+    }
+}
+
+fn serve_typed<S: ep2_linalg::Scalar>(
+    model: ep2_core::KernelModel<S>,
+    precision: Precision,
+    device: &ResourceSpec,
+    config: &ep2_serve::ServeConfig,
+) -> Result<(), String> {
+    let plan = ep2_serve::ServePlan::plan(
+        model.n_centers(),
+        model.dim(),
+        model.n_outputs(),
+        device,
+        precision,
+        config,
+    );
+    let ledger = ep2_device::MemoryLedger::new(device.memory_floats);
+    let engine = ep2_serve::ServeEngine::new(std::sync::Arc::new(model), plan, &ledger)
+        .map_err(|e| e.to_string())?;
+    let plan = engine.plan();
+    // The banner goes to stderr: stdout carries only protocol responses.
+    eprintln!(
+        "serving {} centers at {} on {} | batch <= {} rows, window {} us, \
+         latency budget {} us, {} worker(s) x {} thread(s)",
+        engine.model().n_centers(),
+        precision,
+        device.name,
+        plan.batch_rows,
+        plan.window_us,
+        plan.latency_budget_us,
+        plan.workers,
+        plan.worker_threads,
+    );
+    eprintln!(
+        "memory: {:.3e} resident + {:.3e}/worker of {:.3e} slots",
+        plan.resident_slots,
+        plan.per_worker_slots,
+        ledger.budget()
+    );
+    let stdin = std::io::stdin().lock();
+    // `Stdout` (unlocked) is Send; `serve_lines` serialises writes itself.
+    let handled = ep2_serve::server::serve_lines(&engine, stdin, std::io::stdout())
+        .map_err(|e| format!("serve I/O: {e}"))?;
+    let st = engine.stats();
+    eprintln!(
+        "served {} request(s) in {} batch(es) ({} shed, {} recovered) over {} line(s); \
+         p50 {} us, p99 {} us",
+        st.served,
+        st.batches,
+        st.shed,
+        st.recoveries,
+        handled,
+        st.percentile_us(50.0),
+        st.percentile_us(99.0),
     );
     Ok(())
 }
@@ -436,6 +548,15 @@ fn inspect_model(parsed: &Parsed) -> Result<(), String> {
     if matches!(info.checksum, ChecksumStatus::Mismatch { .. }) {
         return Err("checksum mismatch: the file failed integrity verification".to_string());
     }
+    // The same precision-erased loader `eval`, `serve`, and trainer resume
+    // use: inspect reports what the file will actually load as.
+    let any = ep2_core::persist::any_from_bytes(&data).map_err(|e| e.to_string())?;
+    println!(
+        "loads as:  {} storage ({} x {} centers, via load_any)",
+        any.0.precision(),
+        any.0.n_centers(),
+        any.0.dim()
+    );
     Ok(())
 }
 

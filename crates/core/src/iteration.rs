@@ -294,6 +294,7 @@ impl<S: Scalar> EigenProIteration<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::PredictOptions;
     use ep2_kernels::{GaussianKernel, Kernel};
     use ep2_linalg::cholesky::solve_spd;
     use std::sync::Arc;
@@ -350,7 +351,7 @@ mod tests {
         for _ in 0..4000 {
             it.step(&all, &y);
         }
-        let f = it.model().predict(&x);
+        let f = it.model().predict_with(&x, &PredictOptions::default());
         let mse = ep2_data::metrics::mse(&f, &y);
         assert!(mse < 1e-5, "train mse {mse}");
         // Weights approach the interpolant.
@@ -382,7 +383,7 @@ mod tests {
                     it.step(&batch, &y);
                 }
             }
-            let f = it.model().predict(&x);
+            let f = it.model().predict_with(&x, &PredictOptions::default());
             ep2_data::metrics::mse(&f, &y)
         };
 
@@ -429,7 +430,7 @@ mod tests {
         }
         // At convergence the residual is ~0, i.e. f interpolates y — the
         // same solution SGD converges to.
-        let f = it.model().predict(&x);
+        let f = it.model().predict_with(&x, &PredictOptions::default());
         let mse = ep2_data::metrics::mse(&f, &y);
         assert!(mse < 1e-6, "not interpolating: mse {mse}");
     }

@@ -68,5 +68,6 @@ pub mod precond;
 pub mod trainer;
 
 pub use error::CoreError;
-pub use model::KernelModel;
+pub use model::{KernelModel, PredictBuffers, PredictEpilogue, PredictOptions};
+pub use persist::AnyModel;
 pub use precond::Preconditioner;

@@ -3,8 +3,200 @@
 
 use std::sync::Arc;
 
+use ep2_device::Precision;
 use ep2_kernels::{matrix as kmat, Kernel, KernelKind};
 use ep2_linalg::{blas, Matrix, Scalar};
+
+/// Default row-block size for prediction: the transient kernel panel stays
+/// below ~`1024 x n` elements unless the caller plans otherwise.
+pub const DEFAULT_PREDICT_BLOCK_ROWS: usize = 1024;
+
+/// Smallest row block / column tile [`PredictOptions::planned`] will pick
+/// before giving up on fitting the budget exactly (a floor, not a promise —
+/// the ledger still audits the real charge).
+const MIN_PLANNED_BLOCK: usize = 16;
+const MIN_PLANNED_TILE: usize = 64;
+
+/// Post-GEMM transform applied to each predicted row block before it is
+/// written back — the prediction-side analogue of the fused GEMM epilogue.
+///
+/// [`PredictEpilogue::Identity`] is bitwise free: no pass runs at all, so
+/// identity predictions are bit-for-bit what the raw `K·α` product produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictEpilogue {
+    /// Return raw `K·α` untouched (no pass over the output runs).
+    Identity,
+    /// Affine map `y ← scale · y + bias` per output element, evaluated in
+    /// f64 and rounded once back to the storage precision.
+    Affine {
+        /// Multiplicative factor.
+        scale: f64,
+        /// Additive offset.
+        bias: f64,
+    },
+}
+
+impl PredictEpilogue {
+    fn apply<S: Scalar>(&self, block: &mut Matrix<S>) {
+        if let PredictEpilogue::Affine { scale, bias } = *self {
+            for v in block.as_mut_slice() {
+                *v = S::from_f64(scale * v.to_f64() + bias);
+            }
+        }
+    }
+}
+
+/// How [`KernelModel::predict_with`] evaluates: the one entry point behind
+/// which the historical `predict` / `predict_blocked` / `predict_tiled`
+/// trio collapsed.
+///
+/// Build it fluently — defaults are the old `predict` behaviour (1024-row
+/// blocks, full-width kernel panels, identity epilogue):
+///
+/// ```
+/// use ep2_core::model::PredictOptions;
+///
+/// let opts = PredictOptions::new().block_rows(256).col_tile(512);
+/// assert_eq!(opts.block_rows, 256);
+/// ```
+///
+/// or let [`PredictOptions::planned`] derive the blocking from a device
+/// memory budget, the way the serve path sizes its micro-batches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictOptions {
+    /// Rows of `x` evaluated per kernel panel (`> 0`).
+    pub block_rows: usize,
+    /// Center-side tile width; `None` materialises full `block_rows x n`
+    /// panels (the historical `predict_blocked` shape), `Some(t)` caps the
+    /// transient panel at `block_rows x t` and accumulates tile by tile
+    /// (the historical `predict_tiled` shape).
+    pub col_tile: Option<usize>,
+    /// Output transform fused into the per-block write-back.
+    pub epilogue: PredictEpilogue,
+}
+
+impl Default for PredictOptions {
+    fn default() -> Self {
+        PredictOptions {
+            block_rows: DEFAULT_PREDICT_BLOCK_ROWS,
+            col_tile: None,
+            epilogue: PredictEpilogue::Identity,
+        }
+    }
+}
+
+impl PredictOptions {
+    /// The default options ([`Default::default`], fluently nameable).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the row-block size.
+    pub fn block_rows(mut self, rows: usize) -> Self {
+        self.block_rows = rows;
+        self
+    }
+
+    /// Sets the center-side tile width.
+    pub fn col_tile(mut self, tile: usize) -> Self {
+        self.col_tile = Some(tile);
+        self
+    }
+
+    /// Sets the output epilogue.
+    pub fn epilogue(mut self, epilogue: PredictEpilogue) -> Self {
+        self.epilogue = epilogue;
+        self
+    }
+
+    /// Plans blocking factors from a device memory budget: the largest
+    /// `block_rows x col_tile` shape (halving rows from
+    /// [`DEFAULT_PREDICT_BLOCK_ROWS`], then narrowing the tile) whose
+    /// transient slots — kernel panel + staged input block + output block,
+    /// `block_rows·(tile + d + l)`, plus the `n`-slot center-norm cache —
+    /// fit `budget_slots` at this precision's slot width. Best-effort: when
+    /// even the floor shape (16 x 64) exceeds the budget it returns the
+    /// floor and leaves enforcement to the ledger that audits the real
+    /// charge.
+    pub fn planned(n: usize, d: usize, l: usize, budget_slots: f64, precision: Precision) -> Self {
+        let avail = (budget_slots / precision.slot_factor() - n as f64).max(0.0);
+        let mut rows = DEFAULT_PREDICT_BLOCK_ROWS;
+        let fits_full = |rows: usize| (rows * (n + d + l)) as f64 <= avail;
+        while rows > MIN_PLANNED_BLOCK && !fits_full(rows) {
+            rows /= 2;
+        }
+        if fits_full(rows) {
+            return PredictOptions::new().block_rows(rows);
+        }
+        // Full-width panels never fit: tile the centers as wide as the
+        // budget allows at the floor row block.
+        let tile_f = (avail / rows as f64 - (d + l) as f64).floor();
+        let floor = MIN_PLANNED_TILE.min(n.max(1));
+        let tile = if tile_f.is_finite() && tile_f > 0.0 {
+            (tile_f as usize).clamp(floor, n.max(1))
+        } else {
+            floor
+        };
+        PredictOptions::new().block_rows(rows).col_tile(tile)
+    }
+
+    /// Slots one prediction call transiently charges under these options
+    /// for an `n`-center, `d`-feature, `l`-output model at `precision` —
+    /// what the serve engine charges its ledger per worker.
+    pub fn transient_slots(&self, n: usize, d: usize, l: usize, precision: Precision) -> f64 {
+        let tile = self.col_tile.unwrap_or(n).min(n.max(1));
+        (self.block_rows * (tile + d + l) + n) as f64 * precision.slot_factor()
+    }
+}
+
+/// Recycled scratch for [`KernelModel::predict_with_into`] — the
+/// zero-allocation serving hot path.
+///
+/// Holds the center-side norm cache (computed once per model, revalidated
+/// by the centers' `Arc` identity), the per-block input norms, the staged
+/// input block, the kernel panel, and the output block. After the first
+/// call at the largest batch shape, subsequent calls allocate nothing.
+#[derive(Debug)]
+pub struct PredictBuffers<S: Scalar> {
+    /// Center-norm cache key: `Arc::as_ptr` of the centers it was built
+    /// from (0 = never built).
+    c_sq_key: usize,
+    c_sq: Vec<S::Accum>,
+    b_sq: Vec<S::Accum>,
+    x_block: Matrix<S>,
+    k_tile: Matrix<S>,
+    f_block: Matrix<S>,
+}
+
+impl<S: Scalar> Default for PredictBuffers<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Scalar> PredictBuffers<S> {
+    /// Fresh (empty) buffers.
+    pub fn new() -> Self {
+        PredictBuffers {
+            c_sq_key: 0,
+            c_sq: Vec::new(),
+            b_sq: Vec::new(),
+            x_block: Matrix::zeros(0, 0),
+            k_tile: Matrix::zeros(0, 0),
+            f_block: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Ensures the center-norm cache matches `model`'s centers, rebuilding
+    /// it only when the model changed since the last call.
+    fn center_norms(&mut self, model: &KernelModel<S>) {
+        let key = Arc::as_ptr(&model.centers) as *const u8 as usize;
+        if self.c_sq_key != key || self.c_sq.len() != model.n_centers() {
+            kmat::row_sq_norms_into(&model.centers, &mut self.c_sq);
+            self.c_sq_key = key;
+        }
+    }
+}
 
 /// A kernel machine: training points as centers plus an `n x l` weight
 /// matrix `α`, with all buffers stored in precision `S` (default `f64`).
@@ -139,110 +331,141 @@ impl<S: Scalar> KernelModel<S> {
         }
     }
 
-    /// Predicts `f(x)` for every row of `x`, returning an
-    /// `(x.rows(), l)` matrix. Evaluation is blocked so the transient
-    /// kernel block stays below ~`block_rows x n` memory.
+    /// Predicts `f(x)` for every row of `x` under explicit evaluation
+    /// [`PredictOptions`], returning an `(x.rows(), l)` matrix.
+    ///
+    /// This is the single prediction entry point: row blocks of `x` are
+    /// evaluated against center-side kernel panels (full width, or tiled by
+    /// [`PredictOptions::col_tile`] to respect an out-of-core budget:
+    /// `f += K[:, j0..j1] · α[j0..j1, :]`), and the optional
+    /// [`PredictEpilogue`] is applied per block before write-back. One
+    /// kernel-panel buffer is recycled across *all* row blocks and column
+    /// tiles.
     ///
     /// # Panics
     ///
-    /// Panics if `x.cols() != self.dim()`.
-    pub fn predict(&self, x: &Matrix<S>) -> Matrix<S> {
-        self.predict_blocked(x, 1024)
-    }
-
-    /// [`KernelModel::predict`] with an explicit evaluation block size.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `x.cols() != self.dim()` or `block_rows == 0`.
-    pub fn predict_blocked(&self, x: &Matrix<S>, block_rows: usize) -> Matrix<S> {
-        assert_eq!(x.cols(), self.dim(), "predict: feature dim mismatch");
-        assert!(block_rows > 0, "block_rows must be positive");
-        let m = x.rows();
-        let l = self.n_outputs();
-        let mut out = Matrix::zeros(m, l);
-        // Center-side norms once per call, shared by every row block.
-        let c_sq = kmat::row_sq_norms(&self.centers);
-        let mut row0 = 0;
-        while row0 < m {
-            let rows = block_rows.min(m - row0);
-            let block = x.submatrix(row0, 0, rows, x.cols());
-            // K_block: rows x n (fused assembly), then f = K_block · α.
-            let b_sq = kmat::row_sq_norms(&block);
-            let mut k_block = Matrix::zeros(rows, self.n_centers());
-            kmat::kernel_cross_into(
-                self.kernel.as_ref(),
-                &block,
-                &self.centers,
-                &b_sq,
-                &c_sq,
-                &mut k_block,
-            );
-            let mut f_block = Matrix::zeros(rows, l);
-            blas::gemm(S::ONE, &k_block, &self.weights, S::ZERO, &mut f_block);
-            for i in 0..rows {
-                out.row_mut(row0 + i).copy_from_slice(f_block.row(i));
-            }
-            row0 += rows;
-        }
+    /// Panics if `x.cols() != self.dim()` or a blocking factor is 0.
+    pub fn predict_with(&self, x: &Matrix<S>, opts: &PredictOptions) -> Matrix<S> {
+        let mut bufs = PredictBuffers::new();
+        let mut out = Matrix::zeros(x.rows(), self.n_outputs());
+        self.predict_with_into(x, opts, &mut bufs, &mut out);
         out
     }
 
-    /// [`KernelModel::predict_blocked`] with the kernel block additionally
-    /// tiled over *columns* (centers): the transient kernel panel never
-    /// exceeds `block_rows x col_tile` elements, so evaluation respects an
-    /// out-of-core memory budget where the plain row-blocked path would
-    /// materialise a `block_rows x n` block. Predictions accumulate tile by
-    /// tile: `f += K[:, j0..j1] · α[j0..j1, :]`.
+    /// [`KernelModel::predict_with`] through caller-recycled scratch and
+    /// into a preallocated output — the zero-allocation serving hot path.
+    /// Produces exactly (bit-for-bit) the values `predict_with` produces at
+    /// the same options.
     ///
     /// # Panics
     ///
-    /// Panics if `x.cols() != self.dim()` or either blocking factor is 0.
-    pub fn predict_tiled(&self, x: &Matrix<S>, block_rows: usize, col_tile: usize) -> Matrix<S> {
+    /// Panics if `x.cols() != self.dim()`, `out` is not `(x.rows(), l)`, or
+    /// a blocking factor is 0.
+    pub fn predict_with_into(
+        &self,
+        x: &Matrix<S>,
+        opts: &PredictOptions,
+        bufs: &mut PredictBuffers<S>,
+        out: &mut Matrix<S>,
+    ) {
         assert_eq!(x.cols(), self.dim(), "predict: feature dim mismatch");
-        assert!(block_rows > 0, "block_rows must be positive");
-        assert!(col_tile > 0, "col_tile must be positive");
+        assert!(opts.block_rows > 0, "block_rows must be positive");
+        assert!(opts.col_tile != Some(0), "col_tile must be positive");
         let n = self.n_centers();
         let l = self.n_outputs();
         let m = x.rows();
-        let mut out = Matrix::zeros(m, l);
-        // Center-side norms once per call (`kernel_cross` per tile would
-        // recompute them per (row-block, tile) pair), sliced per tile below;
-        // the Φ tile itself assembles through the fused-epilogue path into
-        // a buffer recycled across tiles.
-        let c_sq = kmat::row_sq_norms(&self.centers);
-        let mut k_tile = Matrix::zeros(block_rows.min(m).max(1), col_tile.min(n).max(1));
+        assert_eq!(out.shape(), (m, l), "predict: output shape mismatch");
+        let col_tile = opts.col_tile.unwrap_or(n).min(n);
+        // Center-side norms are cached across calls (revalidated by Arc
+        // identity) and sliced per tile; the input-side norms and the
+        // kernel panel live in recycled buffers.
+        bufs.center_norms(self);
         let mut row0 = 0;
         while row0 < m {
-            let rows = block_rows.min(m - row0);
-            let block = x.submatrix(row0, 0, rows, x.cols());
-            let b_sq = kmat::row_sq_norms(&block);
-            let mut f_block = Matrix::zeros(rows, l);
+            let rows = opts.block_rows.min(m - row0);
+            // Whole-input blocks (the serving case: one micro-batch, one
+            // block) borrow `x` directly; partial blocks stage into the
+            // recycled copy.
+            let block: &Matrix<S> = if rows == m {
+                x
+            } else {
+                bufs.x_block.resize(rows, x.cols());
+                for i in 0..rows {
+                    bufs.x_block.row_mut(i).copy_from_slice(x.row(row0 + i));
+                }
+                &bufs.x_block
+            };
+            kmat::row_sq_norms_into(block, &mut bufs.b_sq);
+            bufs.f_block.resize(rows, l);
             let mut j0 = 0;
             while j0 < n {
                 let cols = col_tile.min(n - j0);
                 let c_tile = self.centers.submatrix(j0, 0, cols, self.dim());
-                if k_tile.shape() != (rows, cols) {
-                    k_tile = Matrix::zeros(rows, cols);
-                }
+                bufs.k_tile.resize(rows, cols);
                 kmat::kernel_cross_into(
                     self.kernel.as_ref(),
-                    &block,
+                    block,
                     &c_tile,
-                    &b_sq,
-                    &c_sq[j0..j0 + cols],
-                    &mut k_tile,
+                    &bufs.b_sq,
+                    &bufs.c_sq[j0..j0 + cols],
+                    &mut bufs.k_tile,
                 );
                 let w_tile = self.weights.submatrix(j0, 0, cols, l);
-                blas::gemm(S::ONE, &k_tile, &w_tile, S::ONE, &mut f_block);
+                blas::gemm(S::ONE, &bufs.k_tile, &w_tile, S::ONE, &mut bufs.f_block);
                 j0 += cols;
             }
+            opts.epilogue.apply(&mut bufs.f_block);
             for i in 0..rows {
-                out.row_mut(row0 + i).copy_from_slice(f_block.row(i));
+                out.row_mut(row0 + i).copy_from_slice(bufs.f_block.row(i));
             }
             row0 += rows;
         }
-        out
+    }
+
+    /// Predicts `f(x)` for every row of `x` under the default
+    /// [`PredictOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use predict_with(&x, &PredictOptions::default())"
+    )]
+    pub fn predict(&self, x: &Matrix<S>) -> Matrix<S> {
+        self.predict_with(x, &PredictOptions::default())
+    }
+
+    /// [`KernelModel::predict_with`] with only the row block overridden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()` or `block_rows == 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use predict_with(&x, &PredictOptions::new().block_rows(r))"
+    )]
+    pub fn predict_blocked(&self, x: &Matrix<S>, block_rows: usize) -> Matrix<S> {
+        self.predict_with(x, &PredictOptions::new().block_rows(block_rows))
+    }
+
+    /// [`KernelModel::predict_with`] with row block and column tile
+    /// overridden.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.dim()` or either blocking factor is 0.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use predict_with(&x, &PredictOptions::new().block_rows(r).col_tile(t))"
+    )]
+    pub fn predict_tiled(&self, x: &Matrix<S>, block_rows: usize, col_tile: usize) -> Matrix<S> {
+        self.predict_with(
+            x,
+            &PredictOptions::new()
+                .block_rows(block_rows)
+                .col_tile(col_tile),
+        )
     }
 
     /// Predicts from a precomputed kernel block `k_block[i][j] = k(x_i,
@@ -275,11 +498,15 @@ mod tests {
         KernelModel::zeros(kernel, centers, 2)
     }
 
+    fn predict_default(m: &KernelModel, x: &Matrix) -> Matrix {
+        m.predict_with(x, &PredictOptions::default())
+    }
+
     #[test]
     fn zero_model_predicts_zero() {
         let m = toy_model();
         let x = Matrix::from_rows(&[&[0.5, 0.5]]);
-        let p = m.predict(&x);
+        let p = predict_default(&m, &x);
         assert_eq!(p.shape(), (1, 2));
         assert_eq!(p.as_slice(), &[0.0, 0.0]);
     }
@@ -292,7 +519,7 @@ mod tests {
         let m = KernelModel::from_weights(kernel.clone(), centers, weights);
         let x = Matrix::from_rows(&[&[1.0]]);
         let expect = kernel.eval(&[0.0], &[1.0]);
-        assert!((m.predict(&x)[(0, 0)] - expect).abs() < 1e-14);
+        assert!((predict_default(&m, &x)[(0, 0)] - expect).abs() < 1e-14);
     }
 
     #[test]
@@ -303,8 +530,8 @@ mod tests {
             .as_mut_slice()
             .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
         let x = Matrix::from_fn(10, 2, |i, j| (i as f64) * 0.3 - (j as f64) * 0.1);
-        let a = m.predict_blocked(&x, 3);
-        let b = m.predict_blocked(&x, 100);
+        let a = m.predict_with(&x, &PredictOptions::new().block_rows(3));
+        let b = m.predict_with(&x, &PredictOptions::new().block_rows(100));
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((u - v).abs() < 1e-14);
         }
@@ -317,13 +544,89 @@ mod tests {
             .as_mut_slice()
             .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
         let x = Matrix::from_fn(10, 2, |i, j| (i as f64) * 0.3 - (j as f64) * 0.1);
-        let full = m.predict(&x);
+        let full = predict_default(&m, &x);
         for (rows, cols) in [(1, 1), (3, 2), (100, 3), (4, 100)] {
-            let tiled = m.predict_tiled(&x, rows, cols);
+            let opts = PredictOptions::new().block_rows(rows).col_tile(cols);
+            let tiled = m.predict_with(&x, &opts);
             for (u, v) in tiled.as_slice().iter().zip(full.as_slice()) {
                 assert!((u - v).abs() < 1e-14, "tile {rows}x{cols}");
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_are_bitwise_equal_to_predict_with() {
+        let mut m = toy_model();
+        m.weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
+        let x = Matrix::from_fn(9, 2, |i, j| (i as f64) * 0.21 - (j as f64) * 0.4);
+        assert_eq!(m.predict(&x).as_slice(), predict_default(&m, &x).as_slice());
+        assert_eq!(
+            m.predict_blocked(&x, 4).as_slice(),
+            m.predict_with(&x, &PredictOptions::new().block_rows(4))
+                .as_slice()
+        );
+        assert_eq!(
+            m.predict_tiled(&x, 4, 2).as_slice(),
+            m.predict_with(&x, &PredictOptions::new().block_rows(4).col_tile(2))
+                .as_slice()
+        );
+    }
+
+    #[test]
+    fn predict_with_into_reuses_buffers_and_matches() {
+        let mut m = toy_model();
+        m.weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
+        let opts = PredictOptions::new().block_rows(4).col_tile(2);
+        let mut bufs = PredictBuffers::new();
+        for rows in [7, 3, 7] {
+            let x = Matrix::from_fn(rows, 2, |i, j| (i as f64) * 0.3 - (j as f64) * 0.1);
+            let mut out = Matrix::zeros(rows, 2);
+            m.predict_with_into(&x, &opts, &mut bufs, &mut out);
+            assert_eq!(out.as_slice(), m.predict_with(&x, &opts).as_slice());
+        }
+    }
+
+    #[test]
+    fn affine_epilogue_maps_outputs() {
+        let mut m = toy_model();
+        m.weights_mut()
+            .as_mut_slice()
+            .copy_from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 0.7]);
+        let x = Matrix::from_fn(5, 2, |i, j| (i as f64) * 0.3 - (j as f64) * 0.1);
+        let base = predict_default(&m, &x);
+        let opts = PredictOptions::new().epilogue(PredictEpilogue::Affine {
+            scale: 2.0,
+            bias: -1.0,
+        });
+        let mapped = m.predict_with(&x, &opts);
+        for (u, v) in mapped.as_slice().iter().zip(base.as_slice()) {
+            assert_eq!(*u, 2.0 * v - 1.0);
+        }
+    }
+
+    #[test]
+    fn planned_options_respect_budget() {
+        use ep2_device::Precision;
+        let (n, d, l) = (10_000, 64, 10);
+        // A roomy budget keeps the default full-width shape.
+        let roomy = PredictOptions::planned(n, d, l, 1e9, Precision::F64);
+        assert_eq!(roomy.block_rows, DEFAULT_PREDICT_BLOCK_ROWS);
+        assert_eq!(roomy.col_tile, None);
+        // A tight budget shrinks until the transient charge fits.
+        let budget = 2e5;
+        let tight = PredictOptions::planned(n, d, l, budget, Precision::F32);
+        assert!(tight.transient_slots(n, d, l, Precision::F32) <= budget);
+        // bf16 halves the slot width, so the same budget fits wider shapes.
+        let bf = PredictOptions::planned(n, d, l, budget, Precision::Bf16);
+        assert!(
+            bf.block_rows > tight.block_rows
+                || bf.col_tile.unwrap_or(n) >= tight.col_tile.unwrap_or(n)
+        );
     }
 
     #[test]
@@ -343,7 +646,7 @@ mod tests {
         let x = Matrix::from_rows(&[&[0.2, 0.4], &[1.5, -0.5]]);
         let k_block = ep2_kernels::matrix::kernel_cross(m.kernel().as_ref(), &x, m.centers());
         let a = m.predict_from_kernel_block(&k_block);
-        let b = m.predict(&x);
+        let b = predict_default(&m, &x);
         for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((u - v).abs() < 1e-14);
         }
@@ -359,8 +662,8 @@ mod tests {
         assert_eq!(m32.kernel().name(), "gaussian");
         assert_eq!(m32.kernel().bandwidth(), 1.0);
         let x = Matrix::from_fn(6, 2, |i, j| (i as f64) * 0.4 - (j as f64) * 0.2);
-        let p64 = m.predict(&x);
-        let p32 = m32.predict(&x.cast());
+        let p64 = predict_default(&m, &x);
+        let p32 = m32.predict_with(&x.cast(), &PredictOptions::default());
         for (a, b) in p32.as_slice().iter().zip(p64.as_slice()) {
             assert!((*a as f64 - b).abs() < 1e-5);
         }
@@ -375,6 +678,6 @@ mod tests {
     fn dim_mismatch_panics() {
         let m = toy_model();
         let x = Matrix::zeros(1, 3);
-        let _ = m.predict(&x);
+        let _ = predict_default(&m, &x);
     }
 }

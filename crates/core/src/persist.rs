@@ -440,6 +440,184 @@ pub fn from_bytes_full(mut data: &[u8]) -> Result<(KernelModel, Option<TrainerSt
 }
 
 // ---------------------------------------------------------------------------
+// Precision-erased loading
+// ---------------------------------------------------------------------------
+
+use ep2_linalg::{Bf16, Scalar};
+
+/// A loaded model at whatever precision its file says it was trained under —
+/// the precision-erased result of [`load_any`].
+///
+/// The EP2M format stores matrices widened to f64; the embedded
+/// [`TrainerState::precision`] tag says which storage precision the run
+/// actually executed (widening narrow storage to f64 is lossless, so casting
+/// back reproduces the trained weights bit-for-bit). `AnyModel` performs
+/// that one `match` so `ep2 inspect`, `ep2 eval`, the trainer's `--resume`,
+/// and `ep2 serve` stop each maintaining their own per-precision arms:
+///
+/// - files without trainer state load as [`AnyModel::F64`] (plain f64 model
+///   files);
+/// - `Precision::Mixed` runs execute f32 storage and load as
+///   [`AnyModel::F32`].
+#[derive(Debug, Clone)]
+pub enum AnyModel {
+    /// Single-precision storage (also `Precision::Mixed` runs).
+    F32(KernelModel<f32>),
+    /// Double-precision storage.
+    F64(KernelModel<f64>),
+    /// bfloat16 storage (half an f32 slot per resident element).
+    Bf16(KernelModel<Bf16>),
+}
+
+impl AnyModel {
+    /// Wraps an f64-storage model under the precision `tag` its trainer
+    /// state declares (`None` = a plain model file, kept at f64).
+    pub fn from_f64_storage(model: KernelModel, tag: Option<Precision>) -> Self {
+        match tag {
+            None | Some(Precision::F64) => AnyModel::F64(model),
+            Some(Precision::F32) | Some(Precision::Mixed) => AnyModel::F32(model.cast()),
+            Some(Precision::Bf16) => AnyModel::Bf16(model.cast()),
+        }
+    }
+
+    /// The storage precision of the wrapped model.
+    pub fn precision(&self) -> Precision {
+        match self {
+            AnyModel::F32(_) => Precision::F32,
+            AnyModel::F64(_) => Precision::F64,
+            AnyModel::Bf16(_) => Precision::Bf16,
+        }
+    }
+
+    /// Number of centers `n`.
+    pub fn n_centers(&self) -> usize {
+        match self {
+            AnyModel::F32(m) => m.n_centers(),
+            AnyModel::F64(m) => m.n_centers(),
+            AnyModel::Bf16(m) => m.n_centers(),
+        }
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        match self {
+            AnyModel::F32(m) => m.dim(),
+            AnyModel::F64(m) => m.dim(),
+            AnyModel::Bf16(m) => m.dim(),
+        }
+    }
+
+    /// Output dimension `l`.
+    pub fn n_outputs(&self) -> usize {
+        match self {
+            AnyModel::F32(m) => m.n_outputs(),
+            AnyModel::F64(m) => m.n_outputs(),
+            AnyModel::Bf16(m) => m.n_outputs(),
+        }
+    }
+
+    /// Kernel family name.
+    pub fn kernel_name(&self) -> &str {
+        match self {
+            AnyModel::F32(m) => m.kernel().name(),
+            AnyModel::F64(m) => m.kernel().name(),
+            AnyModel::Bf16(m) => m.kernel().name(),
+        }
+    }
+
+    /// Kernel bandwidth σ.
+    pub fn bandwidth(&self) -> f64 {
+        match self {
+            AnyModel::F32(m) => m.kernel().bandwidth(),
+            AnyModel::F64(m) => m.kernel().bandwidth(),
+            AnyModel::Bf16(m) => m.kernel().bandwidth(),
+        }
+    }
+
+    /// The model cast to an explicit precision `S` — the one `match` the
+    /// typed consumers (serve engines, resumed trainers) go through.
+    pub fn cast_into<S: Scalar>(&self) -> KernelModel<S> {
+        match self {
+            AnyModel::F32(m) => m.cast(),
+            AnyModel::F64(m) => m.cast(),
+            AnyModel::Bf16(m) => m.cast(),
+        }
+    }
+
+    /// Just the weights, cast to precision `S` (resume restores weights
+    /// into an already-built model without copying the centers twice).
+    pub fn weights_in<S: Scalar>(&self) -> Matrix<S> {
+        match self {
+            AnyModel::F32(m) => m.weights().cast(),
+            AnyModel::F64(m) => m.weights().cast(),
+            AnyModel::Bf16(m) => m.weights().cast(),
+        }
+    }
+
+    /// Re-wraps at an explicit precision (the `ep2 serve --precision`
+    /// override) — a no-op when the target matches.
+    pub fn to_precision(&self, precision: Precision) -> AnyModel {
+        match precision {
+            Precision::F32 | Precision::Mixed => AnyModel::F32(self.cast_into()),
+            Precision::F64 => AnyModel::F64(self.cast_into()),
+            Precision::Bf16 => AnyModel::Bf16(self.cast_into()),
+        }
+    }
+
+    /// Predicts through the wrapped precision with f64 input/output (the
+    /// `ep2 eval` convenience): input rows are cast to the storage
+    /// precision, evaluated under `opts`, and the result widened back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols()` does not match the model dimension.
+    pub fn predict_f64(&self, x: &Matrix, opts: &crate::model::PredictOptions) -> Matrix {
+        match self {
+            AnyModel::F32(m) => m.predict_with(&x.cast(), opts).cast(),
+            AnyModel::F64(m) => m.predict_with(x, opts).cast(),
+            AnyModel::Bf16(m) => m.predict_with(&x.cast(), opts).cast(),
+        }
+    }
+}
+
+/// Deserialises a model from bytes at its trained storage precision (see
+/// [`AnyModel`]).
+///
+/// # Errors
+///
+/// Same conditions as [`from_bytes`].
+pub fn any_from_bytes(data: &[u8]) -> Result<(AnyModel, Option<TrainerState>), CoreError> {
+    let (model, state) = from_bytes_full(data)?;
+    let tag = state.as_ref().map(|s| s.precision);
+    Ok((AnyModel::from_f64_storage(model, tag), state))
+}
+
+/// Loads a model from `path` at its trained storage precision — the
+/// precision-erased loader behind `ep2 eval`, `ep2 inspect`, trainer
+/// resume, and `ep2 serve`.
+///
+/// # Errors
+///
+/// Propagates deserialisation and I/O failures.
+pub fn load_any(path: impl AsRef<Path>) -> Result<AnyModel, CoreError> {
+    load_any_with_state(path).map(|(model, _)| model)
+}
+
+/// [`load_any`] returning the embedded [`TrainerState`] too (the resume
+/// path needs both).
+///
+/// # Errors
+///
+/// Propagates deserialisation and I/O failures.
+pub fn load_any_with_state(
+    path: impl AsRef<Path>,
+) -> Result<(AnyModel, Option<TrainerState>), CoreError> {
+    let data = std::fs::read(path.as_ref())
+        .map_err(|e| err(format!("reading {}: {e}", path.as_ref().display())))?;
+    any_from_bytes(&data)
+}
+
+// ---------------------------------------------------------------------------
 // Inspection (the `ep2 inspect` backend)
 // ---------------------------------------------------------------------------
 
@@ -623,6 +801,7 @@ pub fn load_checkpoint(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::PredictOptions;
     use ep2_kernels::LaplacianKernel;
 
     fn model() -> KernelModel {
@@ -677,7 +856,10 @@ mod tests {
         assert_eq!(m2.kernel().name(), "laplacian");
         assert_eq!(m2.kernel().bandwidth(), 2.5);
         let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.3);
-        let (p1, p2) = (m.predict(&x), m2.predict(&x));
+        let (p1, p2) = (
+            m.predict_with(&x, &PredictOptions::default()),
+            m2.predict_with(&x, &PredictOptions::default()),
+        );
         assert_eq!(p1.as_slice(), p2.as_slice());
     }
 

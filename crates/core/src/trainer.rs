@@ -55,7 +55,7 @@ use rand::SeedableRng;
 use crate::autotune::{self, AutoParams};
 use crate::counter::FlopCounter;
 use crate::iteration::EigenProIteration;
-use crate::model::KernelModel;
+use crate::model::{KernelModel, PredictOptions};
 use crate::persist::{self, TrainerState};
 use crate::CoreError;
 
@@ -751,7 +751,7 @@ impl EigenPro2 {
                 }
                 // Lossless: checkpoints store f64 weights widened from `S`,
                 // so casting back reproduces the stored values bit-for-bit.
-                *iter.model_mut().weights_mut() = ckpt_model.weights().cast();
+                *iter.model_mut().weights_mut() = ckpt_model.weights_in();
                 iter.set_eta(state.eta);
                 *iter.counter_mut() = FlopCounter {
                     sgd_ops: state.sgd_ops,
@@ -1124,7 +1124,7 @@ fn plan_fingerprint(
 /// parses and passes its CRC). Torn or corrupt files — e.g. a crash mid
 /// `write(2)` before the atomic rename, or bit rot — are skipped with a
 /// warning, so recovery lands on the last *good* checkpoint.
-fn latest_valid_checkpoint(dir: &Path) -> Option<(PathBuf, KernelModel, TrainerState)> {
+fn latest_valid_checkpoint(dir: &Path) -> Option<(PathBuf, persist::AnyModel, TrainerState)> {
     let mut found: Vec<(u64, PathBuf)> = Vec::new();
     for entry in std::fs::read_dir(dir).ok()?.flatten() {
         let path = entry.path();
@@ -1142,7 +1142,7 @@ fn latest_valid_checkpoint(dir: &Path) -> Option<(PathBuf, KernelModel, TrainerS
     }
     found.sort_by_key(|&(epoch, _)| std::cmp::Reverse(epoch));
     for (_, path) in found {
-        match persist::load_checkpoint(&path) {
+        match persist::load_any_with_state(&path) {
             Ok((model, Some(state))) => return Some((path, model, state)),
             Ok((_, None)) => {
                 eprintln!(
@@ -1223,9 +1223,12 @@ fn epoch_stats<S: Scalar>(
 ) -> EpochStats {
     // `eval_tile = (block_rows, col_tile)` routes evaluation through the
     // column-tiled prediction so streamed runs honour their memory budget.
-    let predict = |x: &Matrix<S>| match eval_tile {
-        Some((rows, cols)) => iter.model().predict_tiled(x, rows, cols),
-        None => iter.model().predict(x),
+    let predict = |x: &Matrix<S>| {
+        let opts = match eval_tile {
+            Some((rows, cols)) => PredictOptions::new().block_rows(rows).col_tile(cols),
+            None => PredictOptions::default(),
+        };
+        iter.model().predict_with(x, &opts)
     };
     let train_pred = predict(iter.model().centers());
     let train_mse = metrics::mse(&train_pred, targets);
@@ -1253,7 +1256,7 @@ fn epoch_stats<S: Scalar>(
 ///
 /// Panics if `x.cols()` differs from the model's feature dimension.
 pub fn predict_labels(model: &KernelModel, x: &Matrix) -> Vec<usize> {
-    let pred = model.predict(x);
+    let pred = model.predict_with(x, &PredictOptions::default());
     (0..pred.rows())
         .map(|i| {
             ep2_linalg::ops::argmax(pred.row(i))
@@ -1307,7 +1310,9 @@ mod tests {
         assert!(err < 0.12, "f32 test error {err}");
         assert_eq!(out.report.precision, Precision::F32);
         // The returned model is f64 regardless of the training precision.
-        let pred = out.model.predict(&test.features);
+        let pred = out
+            .model
+            .predict_with(&test.features, &PredictOptions::default());
         assert_eq!(pred.shape(), (test.len(), train.n_classes));
     }
 
@@ -1453,7 +1458,9 @@ mod tests {
         let trainer = EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu());
         let out = trainer.fit_regression(&train, Some(&test)).unwrap();
         // Validation metric is MSE here; check R² on test directly.
-        let pred = out.model.predict(&test.features);
+        let pred = out
+            .model
+            .predict_with(&test.features, &PredictOptions::default());
         let r2 = regression::r2(&pred, &test.targets);
         assert!(r2 > 0.9, "R² = {r2}");
         // Val metric (mse) was tracked.

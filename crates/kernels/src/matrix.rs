@@ -45,9 +45,17 @@ pub fn kernel_cross<S: Scalar>(kernel: &dyn Kernel<S>, a: &Matrix<S>, b: &Matrix
 /// bf16, whose ulp at a TIMIT-scale `‖x‖² ≈ 400` is ≈ 2 — they must not be
 /// rounded back to `S` before the subtraction happens.
 pub fn row_sq_norms<S: Scalar>(x: &Matrix<S>) -> Vec<S::Accum> {
-    (0..x.rows())
-        .map(|i| ops::dot_wide(x.row(i), x.row(i)))
-        .collect()
+    let mut out = Vec::new();
+    row_sq_norms_into(x, &mut out);
+    out
+}
+
+/// [`row_sq_norms`] into a caller-recycled buffer (cleared and refilled) —
+/// the zero-allocation variant the serving hot path uses for its per-batch
+/// norms. Produces exactly the same values as [`row_sq_norms`].
+pub fn row_sq_norms_into<S: Scalar>(x: &Matrix<S>, out: &mut Vec<S::Accum>) {
+    out.clear();
+    out.extend((0..x.rows()).map(|i| ops::dot_wide(x.row(i), x.row(i))));
 }
 
 /// [`kernel_cross`] with the row norms precomputed — the symmetric

@@ -265,6 +265,18 @@ impl<S: Scalar> Matrix<S> {
         out
     }
 
+    /// Reshapes the matrix to `rows x cols` in place, zero-filling every
+    /// entry. The backing buffer is reused whenever its capacity suffices,
+    /// so steady-state consumers that cycle through varying shapes (the
+    /// serve path's per-batch kernel tiles) stop allocating once they have
+    /// seen their largest shape.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, S::ZERO);
+    }
+
     /// The main diagonal as a vector.
     pub fn diag(&self) -> Vec<S> {
         (0..self.rows.min(self.cols))

@@ -1,0 +1,132 @@
+//! Admission control: shed load explicitly instead of queueing past the
+//! latency budget.
+//!
+//! The controller estimates the wait a new request would see behind the
+//! current queue as `queued_rows · est_row_us`. The per-row estimate is
+//! *seeded from the cost model* (`n·(d+l)` operations per row at the
+//! device's sustained rate — the SGD row cost of `ep2_device::cost` with
+//! `m = 1`) and then tracked against reality with an EWMA of measured
+//! batch times, so a mis-calibrated device spec converges to the truth
+//! after a few batches instead of shedding forever (or never).
+
+/// A rejected request: the service is over its latency budget.
+///
+/// Carried back to the client verbatim (the line protocol's `busy`
+/// response) so callers can implement informed backoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Estimated wait behind the current queue, in microseconds.
+    pub est_wait_us: u64,
+    /// The budget that estimate exceeded, in microseconds.
+    pub budget_us: u64,
+}
+
+/// Latency-budget admission controller (see module docs).
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    budget_us: u64,
+    est_row_us: f64,
+}
+
+/// EWMA smoothing factor for measured per-row cost: new observations move
+/// the estimate 20% of the way, so a single anomalous batch (page fault,
+/// scheduler hiccup) cannot flip admission decisions on its own.
+const EWMA_ALPHA: f64 = 0.2;
+
+impl AdmissionController {
+    /// Creates a controller with a latency budget and a cost-model seed for
+    /// the per-row execution time (both in microseconds).
+    pub fn new(budget_us: u64, seed_row_us: f64) -> Self {
+        AdmissionController {
+            budget_us,
+            est_row_us: seed_row_us.max(0.0),
+        }
+    }
+
+    /// The latency budget, in microseconds.
+    pub fn budget_us(&self) -> u64 {
+        self.budget_us
+    }
+
+    /// Current per-row execution estimate, in microseconds.
+    pub fn est_row_us(&self) -> f64 {
+        self.est_row_us
+    }
+
+    /// Estimated wait behind `queued_rows` rows, in microseconds.
+    pub fn est_wait_us(&self, queued_rows: usize) -> u64 {
+        (queued_rows as f64 * self.est_row_us).ceil() as u64
+    }
+
+    /// Admits or sheds a request arriving behind `queued_rows` queued rows.
+    ///
+    /// An empty queue always admits — a service that can shed its *only*
+    /// request would never recover from a pessimistic estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Shed`] when the estimated wait exceeds the budget.
+    pub fn admit(&self, queued_rows: usize) -> Result<(), Shed> {
+        if queued_rows == 0 {
+            return Ok(());
+        }
+        let est_wait_us = self.est_wait_us(queued_rows);
+        if est_wait_us > self.budget_us {
+            Err(Shed {
+                est_wait_us,
+                budget_us: self.budget_us,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Folds a measured batch (`rows` rows in `elapsed_us`) into the
+    /// per-row estimate.
+    pub fn observe_batch(&mut self, rows: usize, elapsed_us: f64) {
+        if rows == 0 || !elapsed_us.is_finite() || elapsed_us < 0.0 {
+            return;
+        }
+        let measured = elapsed_us / rows as f64;
+        self.est_row_us = (1.0 - EWMA_ALPHA) * self.est_row_us + EWMA_ALPHA * measured;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_always_admits() {
+        let c = AdmissionController::new(1, 1e9);
+        assert!(c.admit(0).is_ok());
+    }
+
+    #[test]
+    fn sheds_when_estimated_wait_exceeds_budget() {
+        let c = AdmissionController::new(1000, 100.0);
+        assert!(c.admit(10).is_ok()); // 1000 ≤ 1000
+        let shed = c.admit(11).unwrap_err(); // 1100 > 1000
+        assert_eq!(shed.est_wait_us, 1100);
+        assert_eq!(shed.budget_us, 1000);
+    }
+
+    #[test]
+    fn ewma_converges_toward_measured_cost() {
+        let mut c = AdmissionController::new(1000, 1000.0);
+        for _ in 0..50 {
+            c.observe_batch(10, 100.0); // 10 µs/row measured
+        }
+        assert!(c.est_row_us() < 11.0, "est {} µs", c.est_row_us());
+        assert!(c.admit(50).is_ok()); // ~500 µs wait under the 1000 µs budget
+    }
+
+    #[test]
+    fn bogus_observations_ignored() {
+        let mut c = AdmissionController::new(1000, 10.0);
+        c.observe_batch(0, 100.0);
+        c.observe_batch(10, f64::NAN);
+        c.observe_batch(10, -5.0);
+        assert_eq!(c.est_row_us(), 10.0);
+    }
+}

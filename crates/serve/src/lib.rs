@@ -1,0 +1,51 @@
+//! # ep2-serve — persistent micro-batching inference service
+//!
+//! Batch prediction amortises: one tiled kernel evaluation over `m` rows
+//! costs `m·n·(d+l)` operations but only one pass over the resident
+//! centers, so per-row latency falls steeply with batch size until the
+//! launch saturates (the same `m^max_G` effect the trainer exploits in
+//! Step 1). A request-at-a-time server forfeits all of that. This crate
+//! keeps a trained [`KernelModel`](ep2_core::KernelModel) resident and
+//! *micro-batches* incoming prediction requests:
+//!
+//! - [`plan::ServePlan`] sizes the service from the device: resident
+//!   memory (centers + weights) is charged to a
+//!   [`MemoryLedger`](ep2_device::MemoryLedger), per-batch tile slots are
+//!   reserved per worker, and the batch cap comes from the paper's cost
+//!   model (`ep2_device::cost`) and the memory plan
+//!   ([`PredictOptions::planned`](ep2_core::PredictOptions::planned)).
+//! - [`batch::MicroBatcher`] decides *when* a batch forms: as soon as the
+//!   cap is reached, or when the oldest queued request has waited out the
+//!   batching window — a pure function of (depth, oldest, now), so the
+//!   policy is testable under a simulated clock.
+//! - [`admission::AdmissionController`] sheds load explicitly: when the
+//!   queued work (estimated from an EWMA of measured per-row cost, seeded
+//!   by the cost model) exceeds the latency budget, the request is
+//!   rejected with a `busy` response instead of silently queueing past the
+//!   budget.
+//! - [`engine::ServeEngine`] runs the workers on [`ep2_runtime::scope`],
+//!   shares the model read-only via `Arc`, and recycles request and
+//!   matrix buffers so the steady-state hot path allocates nothing.
+//! - [`server`] exposes the whole thing over a line protocol on any
+//!   `BufRead`/`Write` pair (the `ep2 serve` command wires it to
+//!   stdin/stdout).
+//!
+//! Served predictions are computed by the exact same
+//! [`predict_with`](ep2_core::KernelModel::predict_with) code path as
+//! offline evaluation, so a served micro-batch is bit-for-bit identical to
+//! an offline `predict_with` call on the same batch at the same precision.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod batch;
+pub mod engine;
+pub mod metrics;
+pub mod plan;
+pub mod server;
+
+pub use admission::{AdmissionController, Shed};
+pub use batch::MicroBatcher;
+pub use engine::{ServeEngine, ServeStats};
+pub use plan::{ServeConfig, ServePlan};

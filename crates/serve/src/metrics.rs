@@ -1,0 +1,37 @@
+//! Latency accounting: per-request end-to-end times and percentiles.
+
+/// Nearest-rank percentile of an *unsorted* sample set (the recorder sorts
+/// a copy). `p` in `[0, 100]`; returns 0 for an empty sample.
+pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_zero() {
+        assert_eq!(percentile_us(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&v, 50.0), 50);
+        assert_eq!(percentile_us(&v, 99.0), 99);
+        assert_eq!(percentile_us(&v, 100.0), 100);
+        assert_eq!(percentile_us(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        assert_eq!(percentile_us(&[30, 10, 20], 50.0), 20);
+    }
+}

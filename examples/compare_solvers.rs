@@ -8,6 +8,7 @@
 
 use eigenpro2::baselines::{direct, eigenpro1, falkon, sgd, svm};
 use eigenpro2::core::trainer::{EigenPro2, TrainConfig};
+use eigenpro2::core::PredictOptions;
 use eigenpro2::data::{catalog, metrics};
 use eigenpro2::device::ResourceSpec;
 use eigenpro2::kernels::KernelKind;
@@ -158,7 +159,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel_obj: std::sync::Arc<dyn eigenpro2::kernels::Kernel> =
         kernel.with_bandwidth(bandwidth).into();
     let exact = direct::solve(kernel_obj, &train.features, &train.targets, 1e-8)?;
-    let pred = exact.predict(&test.features);
+    let pred = exact.predict_with(&test.features, &PredictOptions::default());
     report(
         "direct solve (exact)",
         metrics::classification_error(&pred, &test.labels),

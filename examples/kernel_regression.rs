@@ -11,6 +11,7 @@
 //! ```
 
 use eigenpro2::core::trainer::{EigenPro2, TrainConfig};
+use eigenpro2::core::PredictOptions;
 use eigenpro2::data::regression::{self, RegressionSpec};
 use eigenpro2::device::ResourceSpec;
 use eigenpro2::kernels::KernelKind;
@@ -48,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let out = EigenPro2::new(config, ResourceSpec::scaled_virtual_gpu())
             .fit_regression(&train, Some(&test))?;
-        let pred = out.model.predict(&test.features);
+        let pred = out
+            .model
+            .predict_with(&test.features, &PredictOptions::default());
         println!(
             "{kind:<12} test RMSE {:.4}  R² {:.4}  (q = {}, m = {}, η = {:.1}, {:.2} s wall)",
             regression::rmse(&pred, &test.targets),

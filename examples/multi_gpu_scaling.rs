@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use eigenpro2::core::critical;
 use eigenpro2::core::distributed::DistributedEigenProIteration;
+use eigenpro2::core::PredictOptions;
 use eigenpro2::core::{KernelModel, Preconditioner};
 use eigenpro2::data::{catalog, metrics};
 use eigenpro2::device::{ClusterSpec, DeviceMode};
@@ -66,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 iter.step(chunk, &train.targets);
             }
         }
-        let pred = iter.model().predict(&test.features);
+        let pred = iter
+            .model()
+            .predict_with(&test.features, &PredictOptions::default());
         let err = metrics::classification_error(&pred, &test.labels);
 
         // Projection: the aggregate resource's m^max and epoch time.

@@ -14,6 +14,8 @@
 //!   kernel-block tile pipeline) behind the trainer's `Streamed` residency.
 //! - [`baselines`]: plain kernel SGD, original EigenPro, FALKON, SMO SVM, and
 //!   the direct solver.
+//! - [`serve`]: the persistent micro-batching inference service behind
+//!   `ep2 serve` (request batching, admission control, latency metrics).
 //! - [`runtime`]: the thread budget and the deterministic fault-injection
 //!   (failpoint) registry behind the chaos test suite.
 //!
@@ -26,6 +28,7 @@ pub use ep2_device as device;
 pub use ep2_kernels as kernels;
 pub use ep2_linalg as linalg;
 pub use ep2_runtime as runtime;
+pub use ep2_serve as serve;
 pub use ep2_stream as stream;
 
 // The two knobs of the precision-generic numeric stack, re-exported at the

@@ -172,3 +172,76 @@ fn env_spec_arming_matches_the_documented_syntax() {
     assert!(!faults::fire_at("spec_check", 7), "failpoints are one-shot");
     drop(guard);
 }
+
+#[test]
+fn serve_worker_panic_is_absorbed_bitwise() {
+    // The serving analogue of the producer-panic property: a worker panic
+    // mid-batch costs a retry, not the requests. The requeued batch keeps
+    // its composition and order, so the replies are bit-for-bit the ones
+    // an unfaulted server produces.
+    let _g = lock();
+    use eigenpro2::core::KernelModel;
+    use eigenpro2::linalg::Matrix;
+    use eigenpro2::serve::{ServeConfig, ServeEngine, ServePlan};
+    use std::sync::Arc;
+
+    let kernel: Arc<dyn eigenpro2::kernels::Kernel> =
+        Arc::new(eigenpro2::kernels::GaussianKernel::new(3.0));
+    let centers = Matrix::from_fn(50, 6, |i, j| ((i * 5 + j) % 13) as f64 * 0.21);
+    let weights = Matrix::from_fn(50, 2, |i, j| (i as f64 - 25.0) * 0.04 + j as f64);
+    let model = Arc::new(KernelModel::from_weights(kernel, centers, weights));
+    let x = Matrix::from_fn(12, 6, |i, j| ((i + j * 3) % 7) as f64 * 0.3);
+
+    let spec = ResourceSpec::scaled_virtual_gpu();
+    let config = ServeConfig {
+        batch_rows: Some(x.rows()),
+        window_us: Some(5_000_000),
+        workers: Some(1),
+        ..Default::default()
+    };
+    let serve_once = || {
+        let plan = ServePlan::plan(50, 6, 2, &spec, Precision::F64, &config);
+        let ledger = eigenpro2::device::MemoryLedger::new(spec.memory_floats);
+        let engine = ServeEngine::new(model.clone(), plan, &ledger).expect("plan fits");
+        let replies: Mutex<Vec<(String, Vec<f64>)>> = Mutex::new(Vec::new());
+        let sink = |id: &str, out: &[f64]| {
+            replies
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((id.to_string(), out.to_vec()));
+        };
+        engine.run(&sink, || {
+            for i in 0..x.rows() {
+                engine.submit(&format!("r{i}"), x.row(i)).expect("admitted");
+            }
+        });
+        let stats = engine.stats();
+        let mut out = replies.into_inner().unwrap();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        (out, stats)
+    };
+
+    let (clean, _) = serve_once();
+    let guard = faults::arm("serve_worker_panic", Some(1));
+    let (faulted, stats) = serve_once();
+    assert_eq!(
+        faults::fired("serve_worker_panic"),
+        1,
+        "failpoint did not fire"
+    );
+    drop(guard);
+
+    assert_eq!(stats.recoveries, 1, "the recovery was not recorded");
+    assert_eq!(stats.served, x.rows() as u64, "a request was lost");
+    assert_eq!(clean.len(), faulted.len());
+    for ((id_a, row_a), (id_b, row_b)) in clean.iter().zip(&faulted) {
+        assert_eq!(id_a, id_b);
+        for (u, v) in row_a.iter().zip(row_b) {
+            assert_eq!(
+                u.to_bits(),
+                v.to_bits(),
+                "reply {id_a} differs after recovery"
+            );
+        }
+    }
+}

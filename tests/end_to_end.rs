@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use eigenpro2::baselines::{direct, sgd};
 use eigenpro2::core::trainer::{EigenPro2, StopReason, TrainConfig};
+use eigenpro2::core::PredictOptions;
 use eigenpro2::data::{catalog, metrics};
 use eigenpro2::device::{batch, DeviceMode, ResourceSpec};
 use eigenpro2::kernels::{Kernel, KernelKind};
@@ -38,7 +39,9 @@ fn full_pipeline_mnist_like() {
     assert!(p.m_star < 50.0, "m*(k) should be small, got {}", p.m_star);
     assert!(p.m_star_g > p.m_star, "adaptive kernel must raise m*");
     // Prediction shapes.
-    let pred = outcome.model.predict(&test.features);
+    let pred = outcome
+        .model
+        .predict_with(&test.features, &PredictOptions::default());
     assert_eq!(pred.shape(), (test.len(), train.n_classes));
 }
 
@@ -53,7 +56,7 @@ fn adaptive_kernel_preserves_the_solution() {
     let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(3.0).into();
 
     let exact = direct::solve(kernel, &train.features, &train.targets, 1e-10).expect("direct");
-    let exact_pred = exact.predict(&test.features);
+    let exact_pred = exact.predict_with(&test.features, &PredictOptions::default());
 
     let config = TrainConfig {
         kernel: KernelKind::Gaussian,
@@ -76,7 +79,9 @@ fn adaptive_kernel_preserves_the_solution() {
         "should approach interpolation, train mse {}",
         outcome.report.final_train_mse
     );
-    let ep2_pred = outcome.model.predict(&test.features);
+    let ep2_pred = outcome
+        .model
+        .predict_with(&test.features, &PredictOptions::default());
     // Held-out predictions agree with the exact interpolant.
     let diff = metrics::mse(&ep2_pred, &exact_pred);
     let scale = metrics::mse(

@@ -12,6 +12,7 @@
 use std::sync::Arc;
 
 use eigenpro2::core::trainer::{EigenPro2, TrainConfig};
+use eigenpro2::core::PredictOptions;
 use eigenpro2::data::catalog;
 use eigenpro2::device::{batch, Precision, ResourceSpec};
 use eigenpro2::kernels::{matrix as kmat, GaussianKernel, Kernel, KernelKind};
@@ -244,7 +245,9 @@ fn fit_runs_under_every_policy() {
         assert_eq!(out.report.precision, precision);
         assert!(out.report.final_train_mse.is_finite());
         // Returned model is always f64-typed and usable downstream.
-        let pred = out.model.predict(&test.features);
+        let pred = out
+            .model
+            .predict_with(&test.features, &PredictOptions::default());
         assert_eq!(pred.shape(), (test.len(), train.n_classes));
     }
 }

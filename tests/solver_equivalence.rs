@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use eigenpro2::baselines::{direct, eigenpro1, falkon, sgd};
 use eigenpro2::core::trainer::{EigenPro2, TrainConfig};
+use eigenpro2::core::PredictOptions;
 use eigenpro2::data::{catalog, metrics};
 use eigenpro2::device::ResourceSpec;
 use eigenpro2::kernels::{Kernel, KernelKind};
@@ -20,7 +21,7 @@ fn falkon_with_all_centers_matches_direct_solver() {
     let kernel: Arc<dyn Kernel> = KernelKind::Gaussian.with_bandwidth(3.0).into();
 
     let exact = direct::solve(kernel, &train.features, &train.targets, 1e-9).unwrap();
-    let exact_pred = exact.predict(&test.features);
+    let exact_pred = exact.predict_with(&test.features, &PredictOptions::default());
 
     let fk = falkon::train(
         &falkon::FalkonConfig {
@@ -36,7 +37,9 @@ fn falkon_with_all_centers_matches_direct_solver() {
         None,
     )
     .unwrap();
-    let fk_pred = fk.model.predict(&test.features);
+    let fk_pred = fk
+        .model
+        .predict_with(&test.features, &PredictOptions::default());
 
     let diff = metrics::mse(&fk_pred, &exact_pred);
     let scale = metrics::mse(&exact_pred, &Matrix::<f64>::zeros(test.len(), 2)).max(1e-12);
@@ -100,8 +103,12 @@ fn eigenpro1_and_eigenpro2_same_predictions() {
         "{}",
         ep1.report.final_train_mse
     );
-    let p2 = ep2.model.predict(&test.features);
-    let p1 = ep1.model.predict(&test.features);
+    let p2 = ep2
+        .model
+        .predict_with(&test.features, &PredictOptions::default());
+    let p1 = ep1
+        .model
+        .predict_with(&test.features, &PredictOptions::default());
     let diff = metrics::mse(&p1, &p2);
     assert!(diff < 5e-3, "prediction divergence {diff}");
     // And they classify identically almost everywhere.
@@ -162,8 +169,12 @@ fn sgd_approaches_eigenpro2_solution() {
         "{}",
         sgd_out.report.final_train_mse
     );
-    let a = ep2.model.predict(&test.features);
-    let b = sgd_out.model.predict(&test.features);
+    let a = ep2
+        .model
+        .predict_with(&test.features, &PredictOptions::default());
+    let b = sgd_out
+        .model
+        .predict_with(&test.features, &PredictOptions::default());
     let diff = metrics::mse(&a, &b);
     assert!(diff < 1e-2, "solutions diverge: {diff}");
 }
